@@ -1,0 +1,132 @@
+// Command eamtool generates, inspects and validates tabulated EAM
+// potential files in the single-element setfl layout (the format XMD
+// and LAMMPS consume).
+//
+//	eamtool -write Fe.eam.alloy                 # tabulate the analytic Fe EAM
+//	eamtool -write Fe.eam.alloy -johnson        # Johnson embedding variant
+//	eamtool -inspect Fe.eam.alloy               # header + sampled curves
+//	eamtool -validate Fe.eam.alloy              # compare against analytic
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"sdcmd/internal/potential"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "eamtool:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("eamtool", flag.ContinueOnError)
+	write := fs.String("write", "", "write a setfl table to this path")
+	inspect := fs.String("inspect", "", "print the header and sampled curves of a setfl file")
+	validate := fs.String("validate", "", "compare a setfl file against the analytic potential")
+	johnson := fs.Bool("johnson", false, "use the Johnson universal embedding")
+	nr := fs.Int("nr", 2000, "radial knots")
+	nrho := fs.Int("nrho", 2000, "density knots")
+	rhomax := fs.Float64("rhomax", 40, "embedding table upper density")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	params := potential.DefaultFeParams()
+	if *johnson {
+		params = potential.JohnsonFeParams()
+	}
+	analytic, err := potential.NewFeEAM(params)
+	if err != nil {
+		return err
+	}
+
+	switch {
+	case *write != "":
+		tab, err := potential.Tabulate(analytic, *nr, *nrho, *rhomax)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(*write)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		meta := potential.DefaultSetflMeta()
+		meta.NR, meta.NRho = *nr, *nrho
+		if err := potential.WriteSetfl(f, tab, meta); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s: %s, cutoff %.4g Å, %d×%d knots\n", *write, tab.Name(), tab.Cutoff(), *nr, *nrho)
+		return nil
+
+	case *inspect != "":
+		tab, meta, err := readSetfl(*inspect)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: element %s (Z=%d, mass %.3f), lattice %s a0=%.4g Å\n",
+			*inspect, meta.Element, meta.AtomicNumber, meta.Mass, meta.LatticeType, meta.LatticeConst)
+		fmt.Printf("cutoff %.4g Å, %d radial × %d density knots, rho_max %.4g\n",
+			tab.Cutoff(), meta.NR, meta.NRho, tab.RhoMax())
+		fmt.Printf("\n%10s %14s %14s\n", "r (Å)", "V(r) (eV)", "φ(r)")
+		for r := 1.8; r < tab.Cutoff(); r += 0.25 {
+			v, _ := tab.Energy(r)
+			p, _ := tab.Density(r)
+			fmt.Printf("%10.3f %14.6f %14.6f\n", r, v, p)
+		}
+		fmt.Printf("\n%10s %14s\n", "ρ", "F(ρ) (eV)")
+		for rho := 0.0; rho <= tab.RhoMax(); rho += tab.RhoMax() / 8 {
+			f, _ := tab.Embed(rho)
+			fmt.Printf("%10.3f %14.6f\n", rho, f)
+		}
+		return nil
+
+	case *validate != "":
+		tab, _, err := readSetfl(*validate)
+		if err != nil {
+			return err
+		}
+		worstV, worstP, worstF := 0.0, 0.0, 0.0
+		for r := 1.8; r < analytic.Cutoff()-0.01; r += 0.01 {
+			va, _ := analytic.Energy(r)
+			vt, _ := tab.Energy(r)
+			if d := math.Abs(va - vt); d > worstV {
+				worstV = d
+			}
+			pa, _ := analytic.Density(r)
+			pt, _ := tab.Density(r)
+			if d := math.Abs(pa - pt); d > worstP {
+				worstP = d
+			}
+		}
+		for rho := 0.5; rho < tab.RhoMax(); rho += 0.25 {
+			fa, _ := analytic.Embed(rho)
+			ft, _ := tab.Embed(rho)
+			if d := math.Abs(fa - ft); d > worstF {
+				worstF = d
+			}
+		}
+		fmt.Printf("max |ΔV| = %.3g eV, max |Δφ| = %.3g, max |ΔF| = %.3g eV\n", worstV, worstP, worstF)
+		if worstV > 1e-4 || worstP > 1e-4 || worstF > 1e-3 {
+			return fmt.Errorf("table deviates from the analytic %s potential — wrong file or too few knots?", analytic.Name())
+		}
+		fmt.Println("table matches the analytic potential")
+		return nil
+	}
+	return fmt.Errorf("need one of -write, -inspect, -validate (see -h)")
+}
+
+func readSetfl(path string) (*potential.Tabulated, potential.SetflMeta, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, potential.SetflMeta{}, err
+	}
+	defer f.Close()
+	return potential.ReadSetfl(f)
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteValidateInspect(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "Fe.eam.alloy")
+	if err := run([]string{"-write", path, "-nr", "800", "-nrho", "800"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-validate", path}); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	if err := run([]string{"-inspect", path}); err != nil {
+		t.Fatalf("inspect: %v", err)
+	}
+}
+
+func TestJohnsonVariant(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "FeJ.eam.alloy")
+	if err := run([]string{"-write", path, "-johnson"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-validate", path, "-johnson"}); err != nil {
+		t.Fatal(err)
+	}
+	// Validating the Johnson table against the FS analytic must fail.
+	if err := run([]string{"-validate", path}); err == nil {
+		t.Error("cross-validation of mismatched tables passed")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no action accepted")
+	}
+	if err := run([]string{"-inspect", "/nonexistent"}); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run([]string{"-write", "/nonexistent-dir/x", "-nr", "2"}); err == nil {
+		t.Error("bad knot count accepted")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,149 @@
+// Command mdrun runs a bcc-iron EAM molecular-dynamics simulation with
+// a selectable reduction strategy, printing thermodynamic diagnostics
+// and optionally writing XYZ frames and a restart checkpoint.
+//
+// Examples:
+//
+//	mdrun -cells 10 -steps 200 -temp 300 -strategy sdc -threads 4
+//	mdrun -cells 8 -steps 100 -xyz traj.xyz -every 10
+//	mdrun -cells 8 -steps 50 -checkpoint state.sdck
+//	mdrun -restore state.sdck -steps 50
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sdcmd"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mdrun:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mdrun", flag.ContinueOnError)
+	cells := fs.Int("cells", 8, "bcc supercells per side (atoms = 2*cells^3)")
+	steps := fs.Int("steps", 100, "timesteps to run")
+	temp := fs.Float64("temp", 300, "initial temperature (K)")
+	strat := fs.String("strategy", "serial", "reduction strategy: serial|sdc|cs|atomic|sap|rc")
+	threads := fs.Int("threads", 1, "worker threads for parallel strategies")
+	dim := fs.Int("dim", 2, "SDC decomposition dimensionality (1-3)")
+	dt := fs.Float64("dt", 1e-3, "timestep (ps)")
+	seed := fs.Int64("seed", 1, "random seed")
+	johnson := fs.Bool("johnson", false, "use Johnson universal embedding")
+	thermostat := fs.Float64("thermostat", 0, "Berendsen target temperature (K), 0 = NVE")
+	jitter := fs.Float64("jitter", 0, "initial lattice jitter amplitude (Å)")
+	every := fs.Int("every", 10, "report (and frame-write) interval in steps")
+	xyzPath := fs.String("xyz", "", "append XYZ frames to this file")
+	ckptPath := fs.String("checkpoint", "", "write a final binary checkpoint here")
+	restorePath := fs.String("restore", "", "resume from a checkpoint instead of building a lattice")
+	logPath := fs.String("log", "", "write a CSV thermodynamics log here")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *steps < 0 || *every < 1 {
+		return fmt.Errorf("steps must be >= 0 and every >= 1")
+	}
+
+	simOpts := sdcmd.SimOptions{
+		Cells:            *cells,
+		Temperature:      *temp,
+		Seed:             *seed,
+		Strategy:         *strat,
+		Threads:          *threads,
+		Dim:              *dim,
+		Dt:               *dt,
+		Johnson:          *johnson,
+		ThermostatTarget: *thermostat,
+		Jitter:           *jitter,
+	}
+	var sim *sdcmd.Simulation
+	if *restorePath != "" {
+		f, err := os.Open(*restorePath)
+		if err != nil {
+			return err
+		}
+		sim, err = sdcmd.RestoreSimulation(f, simOpts)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("restored from %s\n", *restorePath)
+	} else {
+		var err error
+		sim, err = sdcmd.NewSimulation(simOpts)
+		if err != nil {
+			return err
+		}
+	}
+	defer sim.Close()
+
+	if *logPath != "" {
+		f, err := os.Create(*logPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := sim.StartThermoLog(f); err != nil {
+			return err
+		}
+	}
+
+	var xyzFile *os.File
+	if *xyzPath != "" {
+		f, err := os.Create(*xyzPath)
+		if err != nil {
+			return err
+		}
+		xyzFile = f
+		defer xyzFile.Close()
+	}
+
+	fmt.Printf("mdrun: %d atoms, strategy=%s threads=%d dt=%g ps\n", sim.N(), *strat, *threads, *dt)
+	report := func() error {
+		fmt.Printf("step %6d  T=%8.2f K  KE=%12.4f eV  PE=%14.4f eV  E=%14.4f eV\n",
+			sim.StepCount(), sim.Temperature(), sim.KineticEnergy(), sim.PotentialEnergy(), sim.TotalEnergy())
+		if *logPath != "" {
+			return sim.LogThermo()
+		}
+		return nil
+	}
+	if err := report(); err != nil {
+		return err
+	}
+	for done := 0; done < *steps; {
+		chunk := *every
+		if done+chunk > *steps {
+			chunk = *steps - done
+		}
+		if err := sim.Run(chunk); err != nil {
+			return err
+		}
+		done += chunk
+		if err := report(); err != nil {
+			return err
+		}
+		if xyzFile != nil {
+			if err := sim.WriteXYZ(xyzFile, fmt.Sprintf("step %d", sim.StepCount())); err != nil {
+				return err
+			}
+		}
+	}
+	if *ckptPath != "" {
+		f, err := os.Create(*ckptPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := sim.WriteCheckpoint(f); err != nil {
+			return err
+		}
+		fmt.Printf("checkpoint written to %s\n", *ckptPath)
+	}
+	return nil
+}

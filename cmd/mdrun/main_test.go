@@ -1,0 +1,57 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunBasic(t *testing.T) {
+	if err := run([]string{"-cells", "4", "-steps", "5", "-every", "5"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-cells", "-1"},
+		{"-strategy", "bogus"},
+		{"-steps", "-5"},
+		{"-every", "0"},
+		{"-not-a-flag"},
+	}
+	for i, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("case %d accepted: %v", i, args)
+		}
+	}
+}
+
+func TestRunXYZAndCheckpointRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	xyzPath := filepath.Join(dir, "traj.xyz")
+	ckpt := filepath.Join(dir, "state.sdck")
+	if err := run([]string{"-cells", "4", "-steps", "10", "-every", "5",
+		"-xyz", xyzPath, "-checkpoint", ckpt}); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(xyzPath); err != nil || fi.Size() == 0 {
+		t.Errorf("xyz file missing/empty: %v", err)
+	}
+	if fi, err := os.Stat(ckpt); err != nil || fi.Size() == 0 {
+		t.Errorf("checkpoint missing/empty: %v", err)
+	}
+	// Restore and continue.
+	if err := run([]string{"-restore", ckpt, "-steps", "5", "-every", "5"}); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if err := run([]string{"-restore", filepath.Join(dir, "nope.sdck")}); err == nil {
+		t.Error("missing checkpoint accepted")
+	}
+}
+
+func TestRunSDCParallel(t *testing.T) {
+	if err := run([]string{"-cells", "6", "-steps", "4", "-strategy", "sdc", "-threads", "2", "-every", "4"}); err != nil {
+		t.Fatal(err)
+	}
+}

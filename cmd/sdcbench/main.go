@@ -1,0 +1,76 @@
+// Command sdcbench regenerates the paper's evaluation artifacts:
+//
+//	sdcbench -experiment table1              # Table 1 (model mode)
+//	sdcbench -experiment fig9                # Fig. 9 speedup curves
+//	sdcbench -experiment reorder             # §II.D reordering gains
+//	sdcbench -experiment numa                # §V future-work NUMA study
+//	sdcbench -experiment cluster             # §V future-work hybrid cluster study
+//	sdcbench -experiment all                 # everything
+//	sdcbench -experiment table1 -mode measured -cells 10 -steps 20
+//
+// Model mode (default) predicts the paper's 16-core Xeon E7320 testbed
+// from measured workload statistics; measured mode times the real
+// goroutine implementations on this host (see DESIGN.md §4).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"sdcmd"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sdcbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sdcbench", flag.ContinueOnError)
+	exp := fs.String("experiment", "all", "table1|fig9|reorder|numa|cluster|all")
+	mode := fs.String("mode", "model", "model (predict paper testbed) | measured (time this host)")
+	cells := fs.Int("cells", 8, "measured mode: replica cells per side")
+	steps := fs.Int("steps", 10, "measured mode: timed force evaluations")
+	threads := fs.String("threads", "", "comma-separated thread counts (default 2,3,4,8,12,16)")
+	csvOut := fs.Bool("csv", false, "emit machine-readable CSV instead of tables")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var ts []int
+	if *threads != "" {
+		for _, part := range strings.Split(*threads, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return fmt.Errorf("bad -threads entry %q: %w", part, err)
+			}
+			ts = append(ts, v)
+		}
+	}
+	opts := sdcmd.ExperimentOptions{
+		Mode:          *mode,
+		Out:           os.Stdout,
+		MeasuredCells: *cells,
+		MeasuredSteps: *steps,
+		Threads:       ts,
+		CSV:           *csvOut,
+	}
+	names := []string{*exp}
+	if *exp == "all" {
+		names = []string{"table1", "fig9", "reorder", "numa", "cluster"}
+	}
+	for i, name := range names {
+		if i > 0 {
+			fmt.Println()
+		}
+		if err := sdcmd.RunExperiment(name, opts); err != nil {
+			return err
+		}
+	}
+	return nil
+}

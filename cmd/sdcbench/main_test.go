@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestRunExperiments(t *testing.T) {
+	for _, exp := range []string{"table1", "numa"} {
+		if err := run([]string{"-experiment", exp, "-threads", "2,4"}); err != nil {
+			t.Errorf("%s: %v", exp, err)
+		}
+	}
+}
+
+func TestRunMeasuredTiny(t *testing.T) {
+	if err := run([]string{"-experiment", "reorder", "-mode", "measured",
+		"-cells", "6", "-steps", "1", "-threads", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-experiment", "bogus"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run([]string{"-mode", "bogus"}); err == nil {
+		t.Error("bad mode accepted")
+	}
+	if err := run([]string{"-threads", "2,x"}); err == nil {
+		t.Error("bad threads list accepted")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,16 @@
+package main
+
+import (
+	"testing"
+
+	"sdcmd"
+)
+
+func newSimForTest(t *testing.T) *sdcmd.Simulation {
+	t.Helper()
+	sim, err := sdcmd.NewSimulation(sdcmd.SimOptions{Cells: 4, Temperature: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim
+}

@@ -1,0 +1,127 @@
+// Command sdctraj post-processes multi-frame XYZ trajectories written
+// by mdrun -xyz: radial distribution function, mean-squared
+// displacement, velocity autocorrelation and coordination statistics.
+//
+//	mdrun -cells 8 -steps 200 -xyz traj.xyz -every 10
+//	sdctraj -in traj.xyz -rdf -rmax 4 -bins 40
+//	sdctraj -in traj.xyz -msd
+//	sdctraj -in traj.xyz -vacf
+//	sdctraj -in traj.xyz -coord -rc 2.7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"sdcmd/internal/analysis"
+	"sdcmd/internal/xyz"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sdctraj:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sdctraj", flag.ContinueOnError)
+	in := fs.String("in", "", "input multi-frame XYZ trajectory (required)")
+	doRDF := fs.Bool("rdf", false, "compute the radial distribution function g(r)")
+	rmax := fs.Float64("rmax", 4.0, "RDF maximum radius (Å)")
+	bins := fs.Int("bins", 40, "RDF bins")
+	doMSD := fs.Bool("msd", false, "compute mean-squared displacement vs frame")
+	doVACF := fs.Bool("vacf", false, "compute velocity autocorrelation (needs velocities)")
+	doCoord := fs.Bool("coord", false, "coordination histogram of the final frame")
+	rc := fs.Float64("rc", 2.7, "coordination cutoff (Å)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("need -in trajectory (see -h)")
+	}
+	if !*doRDF && !*doMSD && !*doVACF && !*doCoord {
+		return fmt.Errorf("pick at least one of -rdf, -msd, -vacf, -coord")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	frames, err := xyz.ReadAllXYZ(f)
+	if err != nil {
+		return err
+	}
+	if len(frames) == 0 {
+		return fmt.Errorf("%s holds no frames", *in)
+	}
+	fmt.Printf("%s: %d frames × %d atoms\n", *in, len(frames), len(frames[0].Pos))
+
+	if *doRDF {
+		rdf, err := analysis.NewRDF(*rmax, *bins)
+		if err != nil {
+			return err
+		}
+		for _, fr := range frames {
+			if err := rdf.AddFrame(fr.Box, fr.Pos); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("\ng(r), %d frames averaged:\n%10s %10s\n", rdf.Samples, "r (Å)", "g")
+		rs := rdf.R()
+		for k, g := range rdf.G {
+			fmt.Printf("%10.3f %10.4f\n", rs[k], g)
+		}
+		pr, ph := rdf.FirstPeak()
+		fmt.Printf("first peak: r = %.3f Å, g = %.2f\n", pr, ph)
+	}
+
+	if *doMSD {
+		msd := analysis.NewMSD()
+		for _, fr := range frames {
+			if err := msd.AddFrame(fr.Box, fr.Pos); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("\nMSD vs frame:\n%8s %14s %10s\n", "frame", "step", "MSD (Å²)")
+		for k, v := range msd.Values {
+			fmt.Printf("%8d %14d %10.5f\n", k, frames[k].Step, v)
+		}
+	}
+
+	if *doVACF {
+		if len(frames[0].Vel) == 0 {
+			return fmt.Errorf("trajectory has no velocities (write frames with them to use -vacf)")
+		}
+		vacf := analysis.NewVACF()
+		for _, fr := range frames {
+			if err := vacf.AddFrame(fr.Vel); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("\nVACF vs frame:\n%8s %10s\n", "frame", "C")
+		for k, v := range vacf.Values {
+			fmt.Printf("%8d %10.4f\n", k, v)
+		}
+	}
+
+	if *doCoord {
+		last := frames[len(frames)-1]
+		_, hist, err := analysis.Coordination(last.Box, last.Pos, *rc)
+		if err != nil {
+			return err
+		}
+		keys := make([]int, 0, len(hist))
+		for k := range hist {
+			keys = append(keys, k)
+		}
+		sort.Ints(keys)
+		fmt.Printf("\ncoordination (rc = %.2f Å, final frame):\n%8s %8s\n", *rc, "n", "atoms")
+		for _, k := range keys {
+			fmt.Printf("%8d %8d\n", k, hist[k])
+		}
+	}
+	return nil
+}

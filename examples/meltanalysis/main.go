@@ -1,0 +1,69 @@
+// Structure analysis across a temperature ramp: heat a small Fe crystal
+// with the Berendsen thermostat and watch the structural observables
+// respond — the radial distribution function's crystalline peaks smear,
+// the mean-squared displacement picks up, and the bcc coordination
+// histogram (8 nearest neighbors) broadens. Demonstrates the
+// internal/analysis toolkit on live simulation output.
+//
+//	go run ./examples/meltanalysis
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sdcmd/internal/analysis"
+	"sdcmd/internal/core"
+	"sdcmd/internal/lattice"
+	"sdcmd/internal/md"
+	"sdcmd/internal/strategy"
+)
+
+func main() {
+	cfgLat := lattice.MustBuild(lattice.BCC, 6, 6, 6, lattice.FeLatticeConstant)
+	sys := md.FromLattice(cfgLat)
+	if err := sys.InitVelocities(100, 13); err != nil {
+		log.Fatal(err)
+	}
+	thermostat := &md.Berendsen{Target: 100, Tau: 0.005}
+	cfg := md.DefaultConfig()
+	cfg.Strategy = strategy.SDC
+	cfg.Threads = 2
+	cfg.Dim = core.Dim2
+	cfg.Thermostat = thermostat
+	sim, err := md.NewSimulator(sys, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sim.Close()
+
+	msd := analysis.NewMSD()
+	fmt.Printf("%10s %10s %14s %16s %18s\n", "target T", "actual T", "MSD (Å²)", "g(r) 1st peak", "coordination(8)")
+	for _, target := range []float64{100, 400, 800, 1400} {
+		thermostat.Target = target
+		if err := sim.Step(150); err != nil {
+			log.Fatal(err)
+		}
+		if err := msd.AddFrame(sys.Box, sys.Pos); err != nil {
+			log.Fatal(err)
+		}
+		rdf, err := analysis.NewRDF(4.0, 80)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rdf.AddFrame(sys.Box, sys.Pos); err != nil {
+			log.Fatal(err)
+		}
+		peakR, peakH := rdf.FirstPeak()
+		_, hist, err := analysis.Coordination(sys.Box, sys.Pos, 2.7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		frac8 := float64(hist[8]) / float64(sys.N()) * 100
+		fmt.Printf("%10.0f %10.1f %14.4f %9.2f Å ×%4.1f %16.1f%%\n",
+			target, sys.Temperature(), msd.Last(), peakR, peakH, frac8)
+	}
+	fmt.Println("\nAs the thermostat ramps up: the MSD grows (atoms rattle farther),")
+	fmt.Println("the first g(r) peak stays near the bcc nearest-neighbor distance")
+	fmt.Println("2.48 Å but flattens, and fewer atoms keep a clean 8-fold shell.")
+}

@@ -1,0 +1,40 @@
+// Quickstart: simulate a small block of bcc iron at 300 K with the
+// SDC-parallelized EAM force calculation and print thermodynamics.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sdcmd"
+)
+
+func main() {
+	sim, err := sdcmd.NewSimulation(sdcmd.SimOptions{
+		Cells:       8,   // 2·8³ = 1024 Fe atoms
+		Temperature: 300, // K
+		Strategy:    "sdc",
+		Threads:     4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sim.Close()
+
+	fmt.Printf("quickstart: %d bcc-Fe atoms, strategies available: %v\n", sim.N(), sdcmd.Strategies())
+	fmt.Printf("%8s %12s %14s %14s %14s\n", "step", "T (K)", "KE (eV)", "PE (eV)", "E (eV)")
+	for i := 0; i <= 10; i++ {
+		fmt.Printf("%8d %12.2f %14.4f %14.4f %14.4f\n",
+			sim.StepCount(), sim.Temperature(), sim.KineticEnergy(), sim.PotentialEnergy(), sim.TotalEnergy())
+		if i < 10 {
+			if err := sim.Run(20); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	fmt.Println("\nIn an NVE run the last column (total energy) should stay constant")
+	fmt.Println("while kinetic and potential energy exchange — that is the smooth-")
+	fmt.Println("cutoff EAM force field and the velocity-Verlet integrator at work.")
+}

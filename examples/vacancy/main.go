@@ -1,0 +1,95 @@
+// Point-defect energetics — the classic first application of an EAM
+// potential for metals (Daw & Baskes built EAM for exactly this kind of
+// calculation). We compute the vacancy formation energy
+//
+//	E_f = E(N−1 atoms, relaxed) − (N−1)/N · E(N atoms, relaxed)
+//
+// and the octahedral-interstitial formation energy, using the FIRE
+// minimizer over the SDC-parallelized force engine, under both
+// embedding functions the library ships:
+//
+//   - Finnis–Sinclair F(ρ) = −A√ρ: monotone, never penalizes
+//     over-coordination — fine for vacancies, but it *underprices*
+//     interstitials (the classic limitation of the plain √ρ form).
+//   - Johnson universal F(ρ): has its minimum at the equilibrium host
+//     density ρ_e and rises beyond it, so squeezing an extra atom into
+//     the lattice costs real energy.
+//
+// Experimental bcc-Fe values: E_f(vacancy) ≈ 1.6-1.9 eV,
+// E_f(interstitial) ≈ 3.5-5 eV. Simple analytic parameterizations land
+// in the right order of magnitude; fitted potentials do better.
+//
+//	go run ./examples/vacancy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sdcmd/internal/core"
+	"sdcmd/internal/lattice"
+	"sdcmd/internal/md"
+	"sdcmd/internal/potential"
+	"sdcmd/internal/strategy"
+)
+
+func relax(cfg *lattice.Config, pot potential.EAM) float64 {
+	sys := md.FromLattice(cfg)
+	mcfg := md.DefaultConfig()
+	mcfg.Pot = pot
+	mcfg.Strategy = strategy.SDC
+	mcfg.Threads = 2
+	mcfg.Dim = core.Dim2
+	sim, err := md.NewSimulator(sys, mcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sim.Close()
+	res, err := sim.Minimize(5000, 1e-6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !res.Converged {
+		log.Fatalf("relaxation did not converge: %+v", res)
+	}
+	return res.Energy
+}
+
+func main() {
+	const cells = 6
+	perfect := lattice.MustBuild(lattice.BCC, cells, cells, cells, lattice.FeLatticeConstant)
+	n := perfect.N()
+
+	pots := []struct {
+		name string
+		pot  potential.EAM
+	}{
+		{"Finnis-Sinclair", potential.DefaultFe()},
+		{"Johnson", potential.MustNewFeEAM(potential.JohnsonFeParams())},
+	}
+	fmt.Printf("point defects in bcc Fe, %d-atom cell, FIRE-relaxed\n\n", n)
+	fmt.Printf("%-16s %14s %14s %16s\n", "embedding", "E/atom (eV)", "E_f vac (eV)", "E_f octa (eV)")
+	for _, p := range pots {
+		ePerfect := relax(perfect.Clone(), p.pot)
+
+		vac := perfect.Clone()
+		if err := vac.RemoveAtom(n / 2); err != nil {
+			log.Fatal(err)
+		}
+		eVac := relax(vac, p.pot)
+		efVac := eVac - float64(n-1)/float64(n)*ePerfect
+
+		inter := perfect.Clone()
+		inter.AddInterstitial(lattice.OctahedralSite(3, 3, 3, lattice.FeLatticeConstant))
+		eInt := relax(inter, p.pot)
+		efInt := eInt - float64(n+1)/float64(n)*ePerfect
+
+		fmt.Printf("%-16s %14.4f %14.3f %16.3f\n", p.name, ePerfect/float64(n), efVac, efInt)
+	}
+	fmt.Println("\nBoth embeddings give a positive vacancy formation energy of the")
+	fmt.Println("right order (experiment ≈1.6-1.9 eV). The interstitial exposes the")
+	fmt.Println("classic limitation of the monotone √ρ embedding — it underprices")
+	fmt.Println("over-coordination — while the Johnson universal form, whose F(ρ)")
+	fmt.Println("rises beyond the equilibrium density, charges it properly")
+	fmt.Println("(experiment ≈3.5-5 eV).")
+}

@@ -1,0 +1,3 @@
+module sdcmd
+
+go 1.22

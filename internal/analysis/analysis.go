@@ -1,0 +1,232 @@
+// Package analysis provides the standard post-processing observables of
+// an MD code: radial distribution function, mean-squared displacement
+// (with periodic unwrapping), velocity autocorrelation, and
+// coordination statistics. These are the tools a user of the library
+// applies to the trajectories the simulator produces — e.g. to verify a
+// bcc crystal stays crystalline during the paper's micro-deformation
+// runs, or to watch it melt.
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"sdcmd/internal/box"
+	"sdcmd/internal/neighbor"
+	"sdcmd/internal/vec"
+)
+
+// RDF is a binned radial distribution function g(r).
+type RDF struct {
+	// RMax is the maximum sampled distance; Bins the bin count.
+	RMax float64
+	Bins int
+	// G[k] is g(r) at r = (k+0.5)·RMax/Bins.
+	G []float64
+	// Samples counts accumulated frames.
+	Samples int
+
+	hist  []float64
+	atoms int
+	vol   float64
+}
+
+// NewRDF allocates an accumulator. rmax must respect the minimum-image
+// convention of the boxes later sampled (checked per frame).
+func NewRDF(rmax float64, bins int) (*RDF, error) {
+	if !(rmax > 0) || bins < 1 {
+		return nil, fmt.Errorf("analysis: bad RDF params rmax=%g bins=%d", rmax, bins)
+	}
+	return &RDF{RMax: rmax, Bins: bins, G: make([]float64, bins), hist: make([]float64, bins)}, nil
+}
+
+// AddFrame accumulates one configuration. All frames must have the same
+// atom count; the normalization uses the running mean density.
+func (r *RDF) AddFrame(bx box.Box, pos []vec.Vec3) error {
+	if len(pos) < 2 {
+		return fmt.Errorf("analysis: RDF needs >= 2 atoms")
+	}
+	if !bx.FitsCutoff(r.RMax) {
+		return fmt.Errorf("analysis: box %v too small for rmax %g", bx, r.RMax)
+	}
+	if r.atoms != 0 && r.atoms != len(pos) {
+		return fmt.Errorf("analysis: frame has %d atoms, accumulator %d", len(pos), r.atoms)
+	}
+	r.atoms = len(pos)
+	r.vol += bx.Volume()
+
+	// Cell-accelerated pair search; brute force for boxes too small to
+	// grid (Builder falls back internally).
+	list, err := neighbor.Builder{Cutoff: r.RMax, Half: true}.Build(bx, pos)
+	if err != nil {
+		return err
+	}
+	w := float64(r.Bins) / r.RMax
+	for i := 0; i < list.N(); i++ {
+		for _, j := range list.Neighbors(i) {
+			d := bx.Distance(pos[i], pos[j])
+			k := int(d * w)
+			if k >= 0 && k < r.Bins {
+				r.hist[k] += 2 // pair counts for both atoms
+			}
+		}
+	}
+	r.Samples++
+	r.normalize()
+	return nil
+}
+
+// normalize converts the histogram into g(r) using the ideal-gas shell
+// normalization.
+func (r *RDF) normalize() {
+	meanVol := r.vol / float64(r.Samples)
+	rhoN := float64(r.atoms) / meanVol
+	dr := r.RMax / float64(r.Bins)
+	for k := 0; k < r.Bins; k++ {
+		rin := float64(k) * dr
+		rout := rin + dr
+		shell := 4.0 / 3.0 * math.Pi * (rout*rout*rout - rin*rin*rin)
+		ideal := shell * rhoN * float64(r.atoms) * float64(r.Samples)
+		if ideal > 0 {
+			r.G[k] = r.hist[k] / ideal
+		}
+	}
+}
+
+// R returns the bin-center radii.
+func (r *RDF) R() []float64 {
+	out := make([]float64, r.Bins)
+	dr := r.RMax / float64(r.Bins)
+	for k := range out {
+		out[k] = (float64(k) + 0.5) * dr
+	}
+	return out
+}
+
+// FirstPeak returns the radius and height of the tallest g(r) bin — the
+// nearest-neighbor shell position.
+func (r *RDF) FirstPeak() (radius, height float64) {
+	best := -1
+	for k, g := range r.G {
+		if best < 0 || g > r.G[best] {
+			best = k
+		}
+	}
+	if best < 0 {
+		return 0, 0
+	}
+	return r.R()[best], r.G[best]
+}
+
+// MSD tracks mean-squared displacement with trajectory unwrapping: each
+// AddFrame compares to the previous frame via minimum image, so
+// crossings of the periodic boundary do not corrupt the displacement.
+type MSD struct {
+	// Values[k] is the MSD of frame k relative to frame 0 (Values[0]=0).
+	Values []float64
+
+	origin  []vec.Vec3
+	unwrap  []vec.Vec3
+	prev    []vec.Vec3
+	started bool
+}
+
+// NewMSD allocates an accumulator.
+func NewMSD() *MSD { return &MSD{} }
+
+// AddFrame appends one configuration. Frames must be close enough in
+// time that no atom moves more than half a box length between frames
+// (the usual MD sampling regime).
+func (m *MSD) AddFrame(bx box.Box, pos []vec.Vec3) error {
+	if len(pos) == 0 {
+		return fmt.Errorf("analysis: MSD of empty frame")
+	}
+	if !m.started {
+		m.origin = append([]vec.Vec3(nil), pos...)
+		m.unwrap = append([]vec.Vec3(nil), pos...)
+		m.prev = append([]vec.Vec3(nil), pos...)
+		m.Values = append(m.Values, 0)
+		m.started = true
+		return nil
+	}
+	if len(pos) != len(m.origin) {
+		return fmt.Errorf("analysis: MSD frame has %d atoms, want %d", len(pos), len(m.origin))
+	}
+	sum := 0.0
+	for i := range pos {
+		step := bx.MinImage(pos[i], m.prev[i])
+		m.unwrap[i] = m.unwrap[i].Add(step)
+		m.prev[i] = pos[i]
+		sum += m.unwrap[i].Sub(m.origin[i]).Norm2()
+	}
+	m.Values = append(m.Values, sum/float64(len(pos)))
+	return nil
+}
+
+// Last returns the most recent MSD value.
+func (m *MSD) Last() float64 {
+	if len(m.Values) == 0 {
+		return 0
+	}
+	return m.Values[len(m.Values)-1]
+}
+
+// VACF accumulates the normalized velocity autocorrelation
+// C(k) = ⟨v(0)·v(k)⟩ / ⟨v(0)·v(0)⟩ against the first frame.
+type VACF struct {
+	// Values[k] is C at frame k (Values[0] = 1 for non-zero v0).
+	Values []float64
+
+	v0      []vec.Vec3
+	norm    float64
+	started bool
+}
+
+// NewVACF allocates an accumulator.
+func NewVACF() *VACF { return &VACF{} }
+
+// AddFrame appends one velocity snapshot.
+func (v *VACF) AddFrame(vel []vec.Vec3) error {
+	if len(vel) == 0 {
+		return fmt.Errorf("analysis: VACF of empty frame")
+	}
+	if !v.started {
+		v.v0 = append([]vec.Vec3(nil), vel...)
+		for _, w := range vel {
+			v.norm += w.Norm2()
+		}
+		v.started = true
+		if v.norm == 0 {
+			return fmt.Errorf("analysis: VACF needs non-zero initial velocities")
+		}
+		v.Values = append(v.Values, 1)
+		return nil
+	}
+	if len(vel) != len(v.v0) {
+		return fmt.Errorf("analysis: VACF frame has %d atoms, want %d", len(vel), len(v.v0))
+	}
+	dot := 0.0
+	for i := range vel {
+		dot += v.v0[i].Dot(vel[i])
+	}
+	v.Values = append(v.Values, dot/v.norm)
+	return nil
+}
+
+// Coordination returns the per-atom neighbor counts within rc and their
+// histogram (map count -> atoms). For perfect bcc with rc between the
+// first and second shell every atom has 8.
+func Coordination(bx box.Box, pos []vec.Vec3, rc float64) (counts []int, histogram map[int]int, err error) {
+	list, err := neighbor.Builder{Cutoff: rc, Half: false}.Build(bx, pos)
+	if err != nil {
+		return nil, nil, err
+	}
+	counts = make([]int, len(pos))
+	histogram = map[int]int{}
+	for i := range pos {
+		c := int(list.Len[i])
+		counts[i] = c
+		histogram[c]++
+	}
+	return counts, histogram, nil
+}

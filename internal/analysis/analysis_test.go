@@ -1,0 +1,297 @@
+package analysis
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sdcmd/internal/box"
+	"sdcmd/internal/lattice"
+	"sdcmd/internal/md"
+	"sdcmd/internal/vec"
+)
+
+func TestRDFValidation(t *testing.T) {
+	if _, err := NewRDF(0, 10); err == nil {
+		t.Error("rmax=0 accepted")
+	}
+	if _, err := NewRDF(3, 0); err == nil {
+		t.Error("bins=0 accepted")
+	}
+	r, err := NewRDF(3, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bx := box.MustNew(vec.Zero, vec.Splat(10))
+	if err := r.AddFrame(bx, []vec.Vec3{{1, 1, 1}}); err == nil {
+		t.Error("single atom accepted")
+	}
+	small := box.MustNew(vec.Zero, vec.Splat(4))
+	if err := r.AddFrame(small, make([]vec.Vec3, 5)); err == nil {
+		t.Error("box violating min image accepted")
+	}
+}
+
+func TestRDFIdealGasIsFlat(t *testing.T) {
+	// Uniform random points: g(r) ≈ 1 away from r=0.
+	bx := box.MustNew(vec.Zero, vec.Splat(20))
+	rng := rand.New(rand.NewSource(5))
+	pos := make([]vec.Vec3, 4000)
+	for i := range pos {
+		pos[i] = vec.New(rng.Float64()*20, rng.Float64()*20, rng.Float64()*20)
+	}
+	r, _ := NewRDF(5, 25)
+	if err := r.AddFrame(bx, pos); err != nil {
+		t.Fatal(err)
+	}
+	for k, g := range r.G {
+		if r.R()[k] < 1.0 {
+			continue // tiny shells are noisy
+		}
+		if math.Abs(g-1) > 0.25 {
+			t.Errorf("ideal gas g(%.2f) = %.3f, want ≈1", r.R()[k], g)
+		}
+	}
+}
+
+func TestRDFBCCPeaks(t *testing.T) {
+	cfg := lattice.MustBuild(lattice.BCC, 6, 6, 6, 2.8665)
+	r, _ := NewRDF(4.0, 200)
+	if err := r.AddFrame(cfg.Box, cfg.Pos); err != nil {
+		t.Fatal(err)
+	}
+	// Tallest peak at the bcc nearest-neighbor distance a·√3/2 = 2.482.
+	radius, height := r.FirstPeak()
+	want := 2.8665 * math.Sqrt(3) / 2
+	if math.Abs(radius-want) > 0.05 {
+		t.Errorf("first peak at %g, want %g", radius, want)
+	}
+	if height < 10 {
+		t.Errorf("crystal peak height %g suspiciously low", height)
+	}
+	// g(r) vanishes between shells (crystal, not liquid).
+	for k, g := range r.G {
+		rr := r.R()[k]
+		if rr > 2.6 && rr < 2.8 && g > 0.5 {
+			t.Errorf("g(%.2f) = %g, want ~0 between bcc shells", rr, g)
+		}
+	}
+}
+
+func TestRDFMultiFrameAccumulation(t *testing.T) {
+	cfg := lattice.MustBuild(lattice.BCC, 5, 5, 5, 2.8665)
+	r, _ := NewRDF(4.0, 100)
+	for f := 0; f < 3; f++ {
+		if err := r.AddFrame(cfg.Box, cfg.Pos); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Samples != 3 {
+		t.Errorf("Samples = %d", r.Samples)
+	}
+	// Identical frames: g(r) equals the single-frame result.
+	single, _ := NewRDF(4.0, 100)
+	if err := single.AddFrame(cfg.Box, cfg.Pos); err != nil {
+		t.Fatal(err)
+	}
+	for k := range r.G {
+		if math.Abs(r.G[k]-single.G[k]) > 1e-9 {
+			t.Fatalf("bin %d: %g vs %g", k, r.G[k], single.G[k])
+		}
+	}
+	// Mismatched atom count rejected.
+	if err := r.AddFrame(cfg.Box, cfg.Pos[:10]); err == nil {
+		t.Error("atom count change accepted")
+	}
+}
+
+func TestMSDStationary(t *testing.T) {
+	cfg := lattice.MustBuild(lattice.BCC, 4, 4, 4, 2.8665)
+	m := NewMSD()
+	for f := 0; f < 4; f++ {
+		if err := m.AddFrame(cfg.Box, cfg.Pos); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Last() != 0 {
+		t.Errorf("stationary MSD = %g", m.Last())
+	}
+	if len(m.Values) != 4 {
+		t.Errorf("values = %v", m.Values)
+	}
+}
+
+func TestMSDUniformDrift(t *testing.T) {
+	// All atoms drift by v per frame: MSD(k) = (k·|v|)², even across
+	// the periodic boundary.
+	bx := box.MustNew(vec.Zero, vec.Splat(5))
+	pos := []vec.Vec3{{0.1, 1, 1}, {4.9, 2, 2}, {2.5, 3, 3}}
+	drift := vec.New(0.4, 0, 0)
+	m := NewMSD()
+	cur := append([]vec.Vec3(nil), pos...)
+	for k := 0; k < 20; k++ {
+		if err := m.AddFrame(bx, cur); err != nil {
+			t.Fatal(err)
+		}
+		for i := range cur {
+			cur[i] = bx.Wrap(cur[i].Add(drift))
+		}
+	}
+	for k, v := range m.Values {
+		want := math.Pow(float64(k)*0.4, 2)
+		if math.Abs(v-want) > 1e-9 {
+			t.Fatalf("MSD[%d] = %g, want %g", k, v, want)
+		}
+	}
+}
+
+func TestMSDValidation(t *testing.T) {
+	bx := box.MustNew(vec.Zero, vec.Splat(5))
+	m := NewMSD()
+	if err := m.AddFrame(bx, nil); err == nil {
+		t.Error("empty frame accepted")
+	}
+	if err := m.AddFrame(bx, make([]vec.Vec3, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddFrame(bx, make([]vec.Vec3, 4)); err == nil {
+		t.Error("atom count change accepted")
+	}
+	if NewMSD().Last() != 0 {
+		t.Error("empty MSD Last must be 0")
+	}
+}
+
+func TestVACF(t *testing.T) {
+	v := NewVACF()
+	if err := v.AddFrame(nil); err == nil {
+		t.Error("empty frame accepted")
+	}
+	vel := []vec.Vec3{{1, 0, 0}, {0, 2, 0}}
+	if err := v.AddFrame(vel); err != nil {
+		t.Fatal(err)
+	}
+	if v.Values[0] != 1 {
+		t.Errorf("C(0) = %g", v.Values[0])
+	}
+	// Same velocities: C stays 1. Reversed: C = −1. Orthogonal: 0.
+	if err := v.AddFrame(vel); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v.Values[1]-1) > 1e-12 {
+		t.Errorf("C(same) = %g", v.Values[1])
+	}
+	rev := []vec.Vec3{{-1, 0, 0}, {0, -2, 0}}
+	if err := v.AddFrame(rev); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v.Values[2]+1) > 1e-12 {
+		t.Errorf("C(reversed) = %g", v.Values[2])
+	}
+	orth := []vec.Vec3{{0, 1, 0}, {2, 0, 0}}
+	if err := v.AddFrame(orth); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v.Values[3]) > 1e-12 {
+		t.Errorf("C(orthogonal) = %g", v.Values[3])
+	}
+	if err := v.AddFrame(vel[:1]); err == nil {
+		t.Error("atom count change accepted")
+	}
+	// Zero initial velocities rejected.
+	z := NewVACF()
+	if err := z.AddFrame(make([]vec.Vec3, 3)); err == nil {
+		t.Error("zero initial velocities accepted")
+	}
+}
+
+func TestCoordinationBCC(t *testing.T) {
+	cfg := lattice.MustBuild(lattice.BCC, 5, 5, 5, 2.8665)
+	counts, hist, err := Coordination(cfg.Box, cfg.Pos, 2.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(counts) != cfg.N() {
+		t.Fatalf("counts length %d", len(counts))
+	}
+	if hist[8] != cfg.N() || len(hist) != 1 {
+		t.Errorf("bcc coordination histogram = %v, want all 8", hist)
+	}
+	// Including the second shell: 14.
+	_, hist2, err := Coordination(cfg.Box, cfg.Pos, 3.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hist2[14] != cfg.N() {
+		t.Errorf("two-shell histogram = %v, want all 14", hist2)
+	}
+	// Bad cutoff propagates the neighbor error.
+	if _, _, err := Coordination(cfg.Box, cfg.Pos, -1); err == nil {
+		t.Error("negative rc accepted")
+	}
+}
+
+func TestObservablesOnLiveTrajectory(t *testing.T) {
+	// Integration: run real MD and confirm the observables respond the
+	// way physics demands — MSD grows monotonically (on average) in a
+	// hot crystal, VACF decays from 1, and the RDF keeps its crystal
+	// peak at moderate temperature.
+	cfg := lattice.MustBuild(lattice.BCC, 5, 5, 5, 2.8665)
+	sys := md.FromLattice(cfg)
+	if err := sys.InitVelocities(600, 3); err != nil {
+		t.Fatal(err)
+	}
+	sim, err := md.NewSimulator(sys, md.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+
+	msd := NewMSD()
+	vacf := NewVACF()
+	rdf, _ := NewRDF(4.0, 60)
+	for f := 0; f < 6; f++ {
+		if err := msd.AddFrame(sys.Box, sys.Pos); err != nil {
+			t.Fatal(err)
+		}
+		if err := vacf.AddFrame(sys.Vel); err != nil {
+			t.Fatal(err)
+		}
+		if err := rdf.AddFrame(sys.Box, sys.Pos); err != nil {
+			t.Fatal(err)
+		}
+		if err := sim.Step(25); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if msd.Last() <= 0 {
+		t.Errorf("MSD stayed zero in a 600 K crystal")
+	}
+	if msd.Values[1] <= 0 {
+		t.Error("MSD did not move after 25 steps")
+	}
+	// Thermal vibration: atoms rattle but stay bound (MSD well under
+	// the squared nearest-neighbor distance).
+	if msd.Last() > 2.0 {
+		t.Errorf("MSD %g suggests melting at 600 K — too hot for this potential?", msd.Last())
+	}
+	if vacf.Values[0] != 1 {
+		t.Error("VACF must start at 1")
+	}
+	decayed := false
+	for _, c := range vacf.Values[1:] {
+		if c < 0.9 {
+			decayed = true
+		}
+	}
+	if !decayed {
+		t.Errorf("VACF never decayed: %v", vacf.Values)
+	}
+	peakR, peakH := rdf.FirstPeak()
+	if math.Abs(peakR-2.48) > 0.15 {
+		t.Errorf("crystal peak drifted to %g Å", peakR)
+	}
+	if peakH < 2 {
+		t.Errorf("crystal peak height %g — structure lost", peakH)
+	}
+}

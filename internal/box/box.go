@@ -1,0 +1,183 @@
+// Package box models the orthorhombic periodic simulation cell.
+//
+// The paper simulates pure bcc iron "under periodic boundary conditions"
+// (§III.B); every distance that enters the EAM loops is a minimum-image
+// distance with respect to this cell. The box also owns the coordinate
+// wrapping used after each integration step and the affine strain used by
+// the micro-deformation workload.
+package box
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"sdcmd/internal/vec"
+)
+
+// Box is an axis-aligned orthorhombic simulation cell spanning
+// [Lo, Hi) in each dimension. Periodic[d] selects periodic wrapping on
+// axis d; a non-periodic axis behaves as open space (no images).
+//
+// The zero Box is not valid; use New.
+type Box struct {
+	Lo, Hi   vec.Vec3
+	Periodic [3]bool
+}
+
+// ErrDegenerate is returned by New when a box edge is not strictly
+// positive.
+var ErrDegenerate = errors.New("box: degenerate cell (edge length <= 0)")
+
+// New constructs a box from its lower and upper corners with all axes
+// periodic. It returns ErrDegenerate if any edge is <= 0.
+func New(lo, hi vec.Vec3) (Box, error) {
+	b := Box{Lo: lo, Hi: hi, Periodic: [3]bool{true, true, true}}
+	for d := 0; d < 3; d++ {
+		if !(hi[d] > lo[d]) {
+			return Box{}, fmt.Errorf("%w: axis %s has [%g, %g)", ErrDegenerate, vec.Axis(d), lo[d], hi[d])
+		}
+	}
+	return b, nil
+}
+
+// NewCube returns a periodic cube [0,L)³.
+func NewCube(l float64) (Box, error) {
+	return New(vec.Zero, vec.Splat(l))
+}
+
+// MustNew is New but panics on error; intended for literals in tests and
+// examples where the dimensions are compile-time constants.
+func MustNew(lo, hi vec.Vec3) Box {
+	b, err := New(lo, hi)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Lengths returns the edge lengths (Hi - Lo).
+func (b Box) Lengths() vec.Vec3 { return b.Hi.Sub(b.Lo) }
+
+// Volume returns the cell volume.
+func (b Box) Volume() float64 {
+	l := b.Lengths()
+	return l[0] * l[1] * l[2]
+}
+
+// Center returns the cell midpoint.
+func (b Box) Center() vec.Vec3 { return b.Lo.Add(b.Hi).Scale(0.5) }
+
+// Contains reports whether p lies in [Lo, Hi) on every axis.
+func (b Box) Contains(p vec.Vec3) bool {
+	for d := 0; d < 3; d++ {
+		if p[d] < b.Lo[d] || p[d] >= b.Hi[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// Wrap maps p into the primary cell on every periodic axis. Coordinates
+// on non-periodic axes are returned unchanged. Wrap is safe for points
+// arbitrarily far outside the cell.
+func (b Box) Wrap(p vec.Vec3) vec.Vec3 {
+	l := b.Lengths()
+	for d := 0; d < 3; d++ {
+		if !b.Periodic[d] {
+			continue
+		}
+		p[d] -= l[d] * math.Floor((p[d]-b.Lo[d])/l[d])
+		// Guard against p[d] == Hi[d] from floating-point rounding when
+		// the argument was an exact negative multiple of the edge.
+		if p[d] >= b.Hi[d] {
+			p[d] = b.Lo[d]
+		}
+	}
+	return p
+}
+
+// WrapAll wraps every position in ps in place.
+func (b Box) WrapAll(ps []vec.Vec3) {
+	for i := range ps {
+		ps[i] = b.Wrap(ps[i])
+	}
+}
+
+// MinImage returns the minimum-image displacement d = pi - pj, i.e. the
+// shortest vector from pj to pi under the cell's periodicity. Its
+// components are guaranteed to lie in [-L/2, L/2] on periodic axes.
+func (b Box) MinImage(pi, pj vec.Vec3) vec.Vec3 {
+	d := pi.Sub(pj)
+	l := b.Lengths()
+	for a := 0; a < 3; a++ {
+		if !b.Periodic[a] {
+			continue
+		}
+		d[a] -= l[a] * math.Round(d[a]/l[a])
+	}
+	return d
+}
+
+// Distance2 returns the squared minimum-image distance between pi and pj.
+func (b Box) Distance2(pi, pj vec.Vec3) float64 {
+	return b.MinImage(pi, pj).Norm2()
+}
+
+// Distance returns the minimum-image distance between pi and pj.
+func (b Box) Distance(pi, pj vec.Vec3) float64 {
+	return math.Sqrt(b.Distance2(pi, pj))
+}
+
+// FitsCutoff reports whether the minimum-image convention is valid for
+// interaction range rc, i.e. every periodic edge is at least 2*rc. With a
+// shorter edge an atom would interact with two images of the same
+// neighbor and the single-image neighbor list would be wrong.
+func (b Box) FitsCutoff(rc float64) bool {
+	l := b.Lengths()
+	for d := 0; d < 3; d++ {
+		if b.Periodic[d] && l[d] < 2*rc {
+			return false
+		}
+	}
+	return true
+}
+
+// Strained returns a copy of the box scaled by (1+eps[d]) on each axis
+// about Lo. It implements the homogeneous cell deformation used by the
+// micro-deformation workload; positions must be scaled with the same
+// factors (see ApplyStrain).
+func (b Box) Strained(eps vec.Vec3) Box {
+	nb := b
+	l := b.Lengths()
+	for d := 0; d < 3; d++ {
+		nb.Hi[d] = b.Lo[d] + l[d]*(1+eps[d])
+	}
+	return nb
+}
+
+// ApplyStrain scales positions about b.Lo by (1+eps[d]) per axis in
+// place, matching Strained.
+func (b Box) ApplyStrain(ps []vec.Vec3, eps vec.Vec3) {
+	for i := range ps {
+		for d := 0; d < 3; d++ {
+			ps[i][d] = b.Lo[d] + (ps[i][d]-b.Lo[d])*(1+eps[d])
+		}
+	}
+}
+
+// FracCoord returns the fractional coordinate of p in [0,1)³ for points
+// inside the cell (values outside the cell fall outside [0,1)).
+func (b Box) FracCoord(p vec.Vec3) vec.Vec3 {
+	l := b.Lengths()
+	return vec.Vec3{
+		(p[0] - b.Lo[0]) / l[0],
+		(p[1] - b.Lo[1]) / l[1],
+		(p[2] - b.Lo[2]) / l[2],
+	}
+}
+
+// String formats the box corners and periodicity.
+func (b Box) String() string {
+	return fmt.Sprintf("box[%v .. %v, periodic=%v]", b.Lo, b.Hi, b.Periodic)
+}

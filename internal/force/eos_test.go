@@ -1,0 +1,84 @@
+package force
+
+import (
+	"math"
+	"testing"
+
+	"sdcmd/internal/lattice"
+	"sdcmd/internal/potential"
+)
+
+// eosPoint computes the cohesive energy per atom of a perfect bcc
+// crystal at lattice constant a.
+func eosPoint(t *testing.T, pot potential.EAM, a float64) float64 {
+	t.Helper()
+	cfg := lattice.MustBuild(lattice.BCC, 3, 3, 3, a)
+	_, total, _, _ := Reference(pot, cfg.Box, cfg.Pos)
+	return total / float64(cfg.N())
+}
+
+// TestEquationOfState characterizes both Fe parameterizations: the
+// E(a) curve must have a single minimum at a physically sensible
+// lattice constant, negative (cohesive) energy there, and positive
+// curvature (stability / positive bulk modulus).
+func TestEquationOfState(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		pot  potential.EAM
+		// acceptable window for the equilibrium lattice constant
+		aLo, aHi float64
+	}{
+		{"finnis-sinclair", potential.DefaultFe(), 2.6, 3.2},
+		{"johnson", potential.MustNewFeEAM(potential.JohnsonFeParams()), 2.6, 3.2},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			// Scan E(a) and locate the minimum.
+			const da = 0.01
+			bestA, bestE := 0.0, math.Inf(1)
+			prev := math.Inf(1)
+			dips := 0
+			for a := 2.5; a <= 3.4; a += da {
+				e := eosPoint(t, tc.pot, a)
+				if e < bestE {
+					bestA, bestE = a, e
+				}
+				if e > prev && dips == 0 {
+					dips = 1 // passed the minimum once
+				} else if e < prev && dips == 1 {
+					t.Errorf("E(a) not convex around the minimum near a=%g", a)
+					break
+				}
+				prev = e
+			}
+			if bestA < tc.aLo || bestA > tc.aHi {
+				t.Errorf("equilibrium a0 = %g, want in [%g, %g]", bestA, tc.aLo, tc.aHi)
+			}
+			if bestE >= 0 {
+				t.Errorf("cohesive energy %g, want negative", bestE)
+			}
+			if bestE < -15 {
+				t.Errorf("cohesive energy %g eV/atom implausibly deep", bestE)
+			}
+			// Curvature -> bulk modulus B = V d²E/dV² > 0; estimate via
+			// central difference in a.
+			e0 := eosPoint(t, tc.pot, bestA)
+			ep := eosPoint(t, tc.pot, bestA+da)
+			em := eosPoint(t, tc.pot, bestA-da)
+			d2 := (ep - 2*e0 + em) / (da * da)
+			if d2 <= 0 {
+				t.Errorf("d²E/da² = %g at minimum, want positive", d2)
+			}
+			// Convert to bulk modulus: V/atom = a³/2, B = (d²E/da²)·a²·(2/(9a³))·...
+			// For the log we use B = (2/(9a)) d²E/da² per atom volume a³/2:
+			// B = d²E/da² · (1/(a·4.5)) / (a²/2) ... report in eV/Å³ and GPa.
+			vAtom := bestA * bestA * bestA / 2
+			b := d2 * bestA * bestA / (9 * vAtom)
+			const eVA3toGPa = 160.2176
+			t.Logf("%s: a0 = %.3f Å, E_coh = %.3f eV/atom, B ≈ %.0f GPa (expt Fe: a0=2.87, E=-4.28, B=170)",
+				tc.name, bestA, bestE, b*eVA3toGPa)
+			if b <= 0 {
+				t.Errorf("bulk modulus %g non-positive", b)
+			}
+		})
+	}
+}

@@ -1,0 +1,98 @@
+package force
+
+import (
+	"sdcmd/internal/box"
+	"sdcmd/internal/potential"
+	"sdcmd/internal/vec"
+)
+
+// Reference computes EAM energies and forces by direct O(N²) summation
+// over all pairs — no neighbor list, no strategy, no shared code with
+// Engine beyond the potential itself. It is the correctness oracle for
+// the whole force stack and is only meant for small test systems.
+func Reference(pot potential.EAM, bx box.Box, pos []vec.Vec3) (f []vec.Vec3, total, pair, embed float64) {
+	n := len(pos)
+	f = make([]vec.Vec3, n)
+	rho := make([]float64, n)
+	cut := pot.Cutoff()
+
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := bx.MinImage(pos[i], pos[j])
+			r := d.Norm()
+			if r >= cut || r <= 0 {
+				continue
+			}
+			phi, _ := pot.Density(r)
+			rho[i] += phi
+			rho[j] += phi
+			v, _ := pot.Energy(r)
+			pair += v
+		}
+	}
+	fp := make([]float64, n)
+	for i := 0; i < n; i++ {
+		fe, dfe := pot.Embed(rho[i])
+		embed += fe
+		fp[i] = dfe
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := bx.MinImage(pos[i], pos[j])
+			r := d.Norm()
+			if r >= cut || r <= 0 {
+				continue
+			}
+			_, dv := pot.Energy(r)
+			_, dphi := pot.Density(r)
+			coeff := dv + (fp[i]+fp[j])*dphi
+			fij := d.Scale(-coeff / r)
+			f[i] = f[i].Add(fij)
+			f[j] = f[j].Sub(fij)
+		}
+	}
+	return f, pair + embed, pair, embed
+}
+
+// NumericalForce estimates the force on atom i by central-difference
+// differentiation of the total O(N²) reference energy — the strongest
+// possible consistency check between the analytic force expression
+// (paper eq. 2) and the energy it is supposed to derive from.
+func NumericalForce(pot potential.EAM, bx box.Box, pos []vec.Vec3, i int, h float64) vec.Vec3 {
+	var out vec.Vec3
+	probe := make([]vec.Vec3, len(pos))
+	for a := 0; a < 3; a++ {
+		copy(probe, pos)
+		probe[i][a] += h
+		_, ep, _, _ := referenceEnergyOnly(pot, bx, probe)
+		copy(probe, pos)
+		probe[i][a] -= h
+		_, em, _, _ := referenceEnergyOnly(pot, bx, probe)
+		out[a] = -(ep - em) / (2 * h)
+	}
+	return out
+}
+
+func referenceEnergyOnly(pot potential.EAM, bx box.Box, pos []vec.Vec3) (f []vec.Vec3, total, pair, embed float64) {
+	n := len(pos)
+	rho := make([]float64, n)
+	cut := pot.Cutoff()
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			r := bx.Distance(pos[i], pos[j])
+			if r >= cut || r <= 0 {
+				continue
+			}
+			phi, _ := pot.Density(r)
+			rho[i] += phi
+			rho[j] += phi
+			v, _ := pot.Energy(r)
+			pair += v
+		}
+	}
+	for i := 0; i < n; i++ {
+		fe, _ := pot.Embed(rho[i])
+		embed += fe
+	}
+	return nil, pair + embed, pair, embed
+}

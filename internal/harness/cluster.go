@@ -1,0 +1,99 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"sdcmd/internal/lattice"
+	"sdcmd/internal/perfmodel"
+)
+
+// Cluster is the second §V future-work study: predicted speedups of
+// the hybrid MPI+SDC engine for every ranks×threads factorization of a
+// fixed core budget, on two interconnect generations. It answers the
+// question the paper poses ("it will be promising to implement SDC
+// method using mixed programming models … in multi-core cluster"):
+// on which fabric, and at which mix, hybrid beats pure threading.
+type Cluster struct {
+	Case       lattice.Case
+	TotalCores int
+	// Fabrics holds one sweep per interconnect.
+	Fabrics []ClusterFabric
+}
+
+// ClusterFabric is one interconnect's sweep.
+type ClusterFabric struct {
+	Interconnect perfmodel.Interconnect
+	Points       []perfmodel.HybridPoint
+	BestIndex    int
+}
+
+// RunCluster executes the study (model-only; this container has one
+// core and no cluster). Core budget: 64 by default — four 16-core
+// testbed nodes.
+func RunCluster(opts Options) (*Cluster, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	c := lattice.Large3
+	if len(opts.Cases) == 1 {
+		c = opts.Cases[0]
+	}
+	ppa, err := perfmodel.MeasurePairsPerAtom(8, opts.Cutoff, opts.Skin)
+	if err != nil {
+		return nil, err
+	}
+	in, err := perfmodel.InputForCase(c, ppa)
+	if err != nil {
+		return nil, err
+	}
+	res := &Cluster{Case: c, TotalCores: 64}
+	for _, ic := range []perfmodel.Interconnect{perfmodel.InfiniBandDDR(), perfmodel.GigabitEthernet()} {
+		pts, best, err := opts.Machine.BestHybridMix(res.TotalCores, in, ic)
+		if err != nil {
+			return nil, err
+		}
+		res.Fabrics = append(res.Fabrics, ClusterFabric{Interconnect: ic, Points: pts, BestIndex: best})
+	}
+	return res, nil
+}
+
+// Render prints the sweeps.
+func (c *Cluster) Render(w io.Writer) {
+	fmt.Fprintf(w, "CLUSTER study (§V future work) — hybrid MPI+SDC on %s, %d total cores\n",
+		c.Case, c.TotalCores)
+	for _, fab := range c.Fabrics {
+		fmt.Fprintf(w, "\n  fabric: %s\n", fab.Interconnect.Name)
+		fmt.Fprintf(w, "  %10s %10s %10s %10s\n", "ranks", "threads", "speedup", "comm %")
+		for i, pt := range fab.Points {
+			mark := ""
+			if i == fab.BestIndex {
+				mark = "  <- best mix"
+			}
+			fmt.Fprintf(w, "  %10d %10d %10.2f %9.1f%%%s\n",
+				pt.Ranks, pt.ThreadsPerRank, pt.Speedup, pt.CommFraction*100, mark)
+		}
+	}
+	fmt.Fprintln(w, "\nReading: on a fast fabric many small ranks win (each node's SDC")
+	fmt.Fprintln(w, "sweep stays in cache and barriers stay cheap); on commodity")
+	fmt.Fprintln(w, "Ethernet the per-message latency pushes the optimum toward fewer,")
+	fmt.Fprintln(w, "fatter ranks — the trade-off the paper's §V anticipates.")
+}
+
+// WriteCSV emits the sweeps in long form.
+func (c *Cluster) WriteCSV(w io.Writer) error {
+	_, err := fmt.Fprintln(w, "experiment,case,fabric,ranks,threads,speedup,comm_fraction")
+	if err != nil {
+		return err
+	}
+	for _, fab := range c.Fabrics {
+		for _, pt := range fab.Points {
+			if _, err := fmt.Fprintf(w, "cluster,%s,%s,%d,%d,%.4f,%.4f\n",
+				c.Case, fab.Interconnect.Name, pt.Ranks, pt.ThreadsPerRank, pt.Speedup, pt.CommFraction); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

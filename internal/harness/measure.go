@@ -1,0 +1,102 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"sdcmd/internal/core"
+	"sdcmd/internal/force"
+	"sdcmd/internal/lattice"
+	"sdcmd/internal/neighbor"
+	"sdcmd/internal/potential"
+	"sdcmd/internal/reorder"
+	"sdcmd/internal/strategy"
+	"sdcmd/internal/vec"
+)
+
+// errInfeasible marks measured-mode combinations equivalent to the
+// paper's blanks (per-color subdomains not exceeding threads).
+var errInfeasible = errors.New("harness: insufficient per-color parallelism")
+
+// measureSpec describes one measured configuration.
+type measureSpec struct {
+	kind    strategy.Kind
+	dim     core.Dim
+	threads int
+	// scramble applies a random atom permutation first (the §II.D
+	// de-optimized baseline).
+	scramble bool
+}
+
+// measureForceTime times opts.MeasuredSteps force evaluations of the
+// configuration on a scaled bcc-Fe replica and returns the accumulated
+// density+force wall time — the paper's measured quantity.
+func measureForceTime(opts Options, spec measureSpec) (time.Duration, error) {
+	cfg, err := lattice.ScaledCase(opts.MeasuredCells)
+	if err != nil {
+		return 0, err
+	}
+	cfg.Jitter(0.05, 1234)
+	pos := cfg.Pos
+	if spec.scramble {
+		perm := reorder.Scramble(len(pos), 99)
+		pos = perm.ApplyVec3(pos)
+	}
+
+	pot := potential.DefaultFe()
+	if pot.Cutoff() != opts.Cutoff {
+		p := potential.DefaultFeParams()
+		p.Cut = opts.Cutoff
+		if p.SmoothOn >= p.Cut {
+			p.SmoothOn = p.Cut * 0.85
+		}
+		pot, err = potential.NewFeEAM(p)
+		if err != nil {
+			return 0, err
+		}
+	}
+	list, err := neighbor.Builder{Cutoff: opts.Cutoff, Skin: opts.Skin, Half: true}.Build(cfg.Box, pos)
+	if err != nil {
+		return 0, err
+	}
+
+	var dec *core.Decomposition
+	var pool *strategy.Pool
+	if spec.kind != strategy.Serial {
+		pool, err = strategy.NewPool(spec.threads)
+		if err != nil {
+			return 0, err
+		}
+		defer pool.Close()
+	}
+	if spec.kind == strategy.SDC {
+		dec, err = core.Decompose(cfg.Box, pos, spec.dim, opts.Cutoff+opts.Skin)
+		if err != nil {
+			return 0, err
+		}
+		if dec.SubdomainsPerColor() <= spec.threads && spec.dim == core.Dim1 {
+			return 0, fmt.Errorf("%w: %d per color, %d threads", errInfeasible, dec.SubdomainsPerColor(), spec.threads)
+		}
+	}
+	red, err := strategy.New(strategy.Config{Kind: spec.kind, List: list, Pool: pool, Decomp: dec})
+	if err != nil {
+		return 0, err
+	}
+	eng, err := force.NewEngine(pot, cfg.Box)
+	if err != nil {
+		return 0, err
+	}
+	f := make([]vec.Vec3, len(pos))
+	// Warmup evaluation (first-touch allocation, cache fill).
+	if _, err := eng.Compute(red, pos, f); err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	for s := 0; s < opts.MeasuredSteps; s++ {
+		if _, err := eng.Compute(red, pos, f); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start), nil
+}

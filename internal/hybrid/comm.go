@@ -1,0 +1,174 @@
+// Package hybrid implements the paper's second future-work direction
+// (§V): "implement SDC method using mixed programming models such as
+// MPI+OpenMP in multi-core cluster". Ranks own x-slabs of the global
+// box and communicate like MPI processes — ghost-atom exchange, reverse
+// accumulation of ghost densities and forces, forward propagation of
+// embedding derivatives, atom migration, and allreduce for global
+// scalars — while each rank parallelizes its local force loops with the
+// SDC coloring (or serially). The message fabric is in-process typed
+// channels, the documented MPI substitution (DESIGN.md §4): the
+// communication *pattern* (who sends what when) is exactly the
+// distributed EAM pattern, only the transport differs.
+package hybrid
+
+import (
+	"fmt"
+
+	"sdcmd/internal/vec"
+)
+
+// packet is one point-to-point message.
+type packet struct {
+	tag int
+	// ids are global atom ids; vecs and scalars are per-id payloads
+	// (each tag uses the fields it needs).
+	ids     []int32
+	vecs    []vec.Vec3
+	vecs2   []vec.Vec3
+	scalars []float64
+}
+
+// Message tags, one per communication phase.
+const (
+	tagGhosts  = iota // rebuild: ghost ids + positions
+	tagPos            // per step: updated ghost positions
+	tagRho            // reverse: ghost density contributions
+	tagFp             // forward: owner F'(ρ) for ghosts
+	tagForce          // reverse: ghost force contributions
+	tagMigrate        // rebuild: atoms changing owner (pos + vel)
+)
+
+// Comm connects R ranks with buffered point-to-point channels and
+// collective helpers. It is the stand-in for an MPI communicator.
+type Comm struct {
+	ranks int
+	// ch[src][dst] carries packets from src to dst.
+	ch [][]chan packet
+	// pending[src][dst] holds packets received ahead of their phase
+	// (only dst's goroutine touches its column).
+	pending [][][]packet
+	// reduce implements allreduce via rank 0.
+	gather    chan float64
+	broadcast []chan float64
+	// barrier implements a full barrier via rank 0.
+	barIn  chan struct{}
+	barOut []chan struct{}
+}
+
+// NewComm builds a communicator for ranks processes.
+func NewComm(ranks int) (*Comm, error) {
+	if ranks < 1 {
+		return nil, fmt.Errorf("hybrid: ranks %d must be >= 1", ranks)
+	}
+	c := &Comm{
+		ranks:     ranks,
+		ch:        make([][]chan packet, ranks),
+		pending:   make([][][]packet, ranks),
+		gather:    make(chan float64, ranks),
+		broadcast: make([]chan float64, ranks),
+		barIn:     make(chan struct{}, ranks),
+		barOut:    make([]chan struct{}, ranks),
+	}
+	for s := 0; s < ranks; s++ {
+		c.ch[s] = make([]chan packet, ranks)
+		c.pending[s] = make([][]packet, ranks)
+		for d := 0; d < ranks; d++ {
+			// Capacity 4: every phase sends at most two packets per
+			// (src,dst) pair before the matching receives run, so
+			// sends never block and neighbor exchanges cannot
+			// deadlock.
+			c.ch[s][d] = make(chan packet, 4)
+		}
+		c.broadcast[s] = make(chan float64, 1)
+		c.barOut[s] = make(chan struct{}, 1)
+	}
+	return c, nil
+}
+
+// Ranks returns the communicator size.
+func (c *Comm) Ranks() int { return c.ranks }
+
+// send transmits a packet from src to dst.
+func (c *Comm) send(src, dst int, p packet) {
+	c.ch[src][dst] <- p
+}
+
+// recv blocks for the next packet from src addressed to dst carrying
+// wantTag. When both x-neighbors are the same rank (R == 2) the two
+// directional packets of one phase share a channel and can arrive in
+// either logical order, so mismatching tags are stashed in a pending
+// queue (read only by dst's goroutine — no locking needed).
+func (c *Comm) recv(src, dst, wantTag int) packet {
+	for i, p := range c.pending[src][dst] {
+		if p.tag == wantTag {
+			c.pending[src][dst] = append(c.pending[src][dst][:i], c.pending[src][dst][i+1:]...)
+			return p
+		}
+	}
+	for {
+		p := <-c.ch[src][dst]
+		if p.tag == wantTag {
+			return p
+		}
+		if len(c.pending[src][dst]) > 8 {
+			panic(fmt.Sprintf("hybrid: rank %d pending overflow waiting for tag %d from %d", dst, wantTag, src))
+		}
+		c.pending[src][dst] = append(c.pending[src][dst], p)
+	}
+}
+
+// AllReduceSum sums one float64 across all ranks; every rank receives
+// the total. rank identifies the caller.
+func (c *Comm) AllReduceSum(rank int, v float64) float64 {
+	if c.ranks == 1 {
+		return v
+	}
+	c.gather <- v
+	if rank == 0 {
+		total := 0.0
+		for i := 0; i < c.ranks; i++ {
+			total += <-c.gather
+		}
+		for i := 0; i < c.ranks; i++ {
+			c.broadcast[i] <- total
+		}
+	}
+	return <-c.broadcast[rank]
+}
+
+// AllReduceMax is AllReduceSum with max instead of +.
+func (c *Comm) AllReduceMax(rank int, v float64) float64 {
+	if c.ranks == 1 {
+		return v
+	}
+	c.gather <- v
+	if rank == 0 {
+		max := <-c.gather
+		for i := 1; i < c.ranks; i++ {
+			if x := <-c.gather; x > max {
+				max = x
+			}
+		}
+		for i := 0; i < c.ranks; i++ {
+			c.broadcast[i] <- max
+		}
+	}
+	return <-c.broadcast[rank]
+}
+
+// Barrier blocks until every rank has arrived.
+func (c *Comm) Barrier(rank int) {
+	if c.ranks == 1 {
+		return
+	}
+	c.barIn <- struct{}{}
+	if rank == 0 {
+		for i := 0; i < c.ranks; i++ {
+			<-c.barIn
+		}
+		for i := 0; i < c.ranks; i++ {
+			c.barOut[i] <- struct{}{}
+		}
+	}
+	<-c.barOut[rank]
+}

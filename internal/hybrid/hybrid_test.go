@@ -1,0 +1,331 @@
+package hybrid
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"sdcmd/internal/force"
+	"sdcmd/internal/lattice"
+	"sdcmd/internal/md"
+	"sdcmd/internal/strategy"
+	"sdcmd/internal/vec"
+)
+
+// globalSystem builds the shared test configuration: a jittered bcc-Fe
+// crystal with Maxwell-Boltzmann velocities.
+func globalSystem(t *testing.T, cells int, temp float64) *md.System {
+	t.Helper()
+	cfg := lattice.MustBuild(lattice.BCC, cells, cells, cells, lattice.FeLatticeConstant)
+	cfg.Jitter(0.05, 21)
+	sys := md.FromLattice(cfg)
+	if err := sys.InitVelocities(temp, 31); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestCommValidation(t *testing.T) {
+	if _, err := NewComm(0); err == nil {
+		t.Error("0 ranks accepted")
+	}
+	c, err := NewComm(3)
+	if err != nil || c.Ranks() != 3 {
+		t.Fatalf("NewComm: %v", err)
+	}
+}
+
+func TestCommCollectives(t *testing.T) {
+	c, err := NewComm(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	sums := make([]float64, 4)
+	maxs := make([]float64, 4)
+	for id := 0; id < 4; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			sums[id] = c.AllReduceSum(id, float64(id+1))
+			maxs[id] = c.AllReduceMax(id, float64((id*7)%5))
+			c.Barrier(id)
+		}(id)
+	}
+	wg.Wait()
+	for id := 0; id < 4; id++ {
+		if sums[id] != 10 {
+			t.Errorf("rank %d sum = %g, want 10", id, sums[id])
+		}
+		if maxs[id] != 4 { // values 0,2,4,1
+			t.Errorf("rank %d max = %g, want 4", id, maxs[id])
+		}
+	}
+}
+
+func TestCommSingleRankCollectives(t *testing.T) {
+	c, _ := NewComm(1)
+	if c.AllReduceSum(0, 3.5) != 3.5 || c.AllReduceMax(0, 2.5) != 2.5 {
+		t.Error("single-rank collectives must be identity")
+	}
+	c.Barrier(0) // must not block
+}
+
+func TestNewSimulatorValidation(t *testing.T) {
+	sys := globalSystem(t, 6, 100)
+	good := DefaultConfig()
+	cases := []func(*Config){
+		func(c *Config) { c.Pot = nil },
+		func(c *Config) { c.Ranks = 1 },
+		func(c *Config) { c.Dt = 0 },
+		func(c *Config) { c.Skin = -1 },
+		func(c *Config) { c.Mass = 0 },
+		func(c *Config) { c.Strategy = strategy.CS },
+		func(c *Config) { c.Strategy = strategy.SDC; c.ThreadsPerRank = 0 },
+		func(c *Config) { c.Ranks = 64 }, // slab thinner than reach
+	}
+	for i, mut := range cases {
+		cfg := good
+		mut(&cfg)
+		if _, err := NewSimulator(sys.Box, sys.Pos, sys.Vel, cfg); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+	if _, err := NewSimulator(sys.Box, sys.Pos, sys.Vel[:3], good); err == nil {
+		t.Error("mismatched velocities accepted")
+	}
+	open := sys.Box
+	open.Periodic[0] = false
+	if _, err := NewSimulator(open, sys.Pos, sys.Vel, good); err == nil {
+		t.Error("non-periodic box accepted")
+	}
+}
+
+func TestInitialForcesMatchGlobalReference(t *testing.T) {
+	sys := globalSystem(t, 6, 0)
+	wantF, wantTotal, _, _ := force.Reference(DefaultConfig().Pot, sys.Box, sys.Pos)
+
+	for _, tc := range []struct {
+		ranks   int
+		strat   strategy.Kind
+		threads int
+	}{
+		{2, strategy.Serial, 1},
+		{3, strategy.Serial, 1},
+		{2, strategy.SDC, 2},
+	} {
+		cfg := DefaultConfig()
+		cfg.Ranks = tc.ranks
+		cfg.Strategy = tc.strat
+		cfg.ThreadsPerRank = tc.threads
+		sim, err := NewSimulator(sys.Box, sys.Pos, sys.Vel, cfg)
+		if err != nil {
+			t.Fatalf("ranks=%d: %v", tc.ranks, err)
+		}
+		_, _, frc := sim.Gather()
+		for i := range wantF {
+			if !frc[i].ApproxEqual(wantF[i], 1e-9*(1+wantF[i].Norm())) {
+				t.Fatalf("ranks=%d %v: force[%d] = %v, want %v", tc.ranks, tc.strat, i, frc[i], wantF[i])
+			}
+		}
+		if pe := sim.PotentialEnergy(); math.Abs(pe-wantTotal) > 1e-8*(1+math.Abs(wantTotal)) {
+			t.Errorf("ranks=%d: PE = %g, want %g", tc.ranks, pe, wantTotal)
+		}
+		if sim.N() != sys.N() {
+			t.Errorf("ranks=%d: N = %d, want %d", tc.ranks, sim.N(), sys.N())
+		}
+		sim.Close()
+	}
+}
+
+func TestTrajectoryMatchesSingleDomain(t *testing.T) {
+	// The hybrid run must track the shared-memory md.Simulator: same
+	// physics, only the parallelization differs.
+	sys := globalSystem(t, 6, 120)
+	ref := sys.Clone()
+	mcfg := md.DefaultConfig()
+	refSim, err := md.NewSimulator(ref, mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer refSim.Close()
+	if err := refSim.Step(20); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := DefaultConfig()
+	cfg.Ranks = 3
+	sim, err := NewSimulator(sys.Box, sys.Pos, sys.Vel, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+	if err := sim.Step(20); err != nil {
+		t.Fatal(err)
+	}
+	pos, _, _ := sim.Gather()
+	for i := range pos {
+		d := sys.Box.MinImage(pos[i], ref.Pos[i]).Norm()
+		if d > 1e-7 {
+			t.Fatalf("atom %d diverged by %g Å after 20 steps", i, d)
+		}
+	}
+	if sim.StepCount() != 20 {
+		t.Errorf("StepCount = %d", sim.StepCount())
+	}
+}
+
+func TestHybridEnergyConservation(t *testing.T) {
+	sys := globalSystem(t, 6, 150)
+	cfg := DefaultConfig()
+	cfg.Ranks = 2
+	sim, err := NewSimulator(sys.Box, sys.Pos, sys.Vel, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+	e0 := sim.TotalEnergy()
+	if err := sim.Step(100); err != nil {
+		t.Fatal(err)
+	}
+	e1 := sim.TotalEnergy()
+	drift := math.Abs(e1-e0) / math.Abs(e0)
+	if drift > 1e-4 {
+		t.Errorf("hybrid NVE drift %g (E %g -> %g)", drift, e0, e1)
+	}
+}
+
+func TestMigrationPreservesAtoms(t *testing.T) {
+	// Hot system + tiny skin: frequent rebuilds and real migration.
+	sys := globalSystem(t, 6, 1500)
+	cfg := DefaultConfig()
+	cfg.Ranks = 3
+	cfg.Skin = 0.15
+	cfg.Dt = 2e-3
+	sim, err := NewSimulator(sys.Box, sys.Pos, sys.Vel, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+	if err := sim.Step(60); err != nil {
+		t.Fatal(err)
+	}
+	if sim.N() != sys.N() {
+		t.Fatalf("atoms lost: %d vs %d", sim.N(), sys.N())
+	}
+	// Every global id present exactly once.
+	seen := make([]bool, sys.N())
+	for _, r := range sim.ranks {
+		for i := 0; i < r.nOwned; i++ {
+			g := r.gid[i]
+			if seen[g] {
+				t.Fatalf("atom %d owned twice", g)
+			}
+			seen[g] = true
+			// Owned atoms sit inside their rank's slab (post-rebuild
+			// drift is bounded by skin/2; we just rebuilt-or-not, so
+			// allow that slack).
+			x := sys.Box.Wrap(r.pos[i])[0]
+			if x < r.slabLo-cfg.Skin && x > r.slabHi+cfg.Skin {
+				t.Fatalf("atom %d at x=%g outside slab [%g, %g]", g, x, r.slabLo, r.slabHi)
+			}
+		}
+	}
+	for g, ok := range seen {
+		if !ok {
+			t.Fatalf("atom %d vanished", g)
+		}
+	}
+	loads := sim.RankLoads()
+	total := 0
+	for _, l := range loads {
+		total += l
+	}
+	if total != sys.N() {
+		t.Errorf("RankLoads sum %d != %d", total, sys.N())
+	}
+	// Forces after all that churn still match a fresh reference.
+	pos, _, frc := sim.Gather()
+	wantF, _, _, _ := force.Reference(cfg.Pot, sys.Box, pos)
+	for i := range frc {
+		if !frc[i].ApproxEqual(wantF[i], 1e-6*(1+wantF[i].Norm())) {
+			t.Fatalf("post-migration force[%d] = %v, want %v", i, frc[i], wantF[i])
+		}
+	}
+}
+
+func TestHybridSDCMatchesHybridSerial(t *testing.T) {
+	sysA := globalSystem(t, 6, 100)
+	sysB := sysA.Clone()
+
+	run := func(sys *md.System, strat strategy.Kind, threads int) []vec.Vec3 {
+		cfg := DefaultConfig()
+		cfg.Ranks = 2
+		cfg.Strategy = strat
+		cfg.ThreadsPerRank = threads
+		sim, err := NewSimulator(sys.Box, sys.Pos, sys.Vel, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sim.Close()
+		if err := sim.Step(15); err != nil {
+			t.Fatal(err)
+		}
+		pos, _, _ := sim.Gather()
+		return pos
+	}
+	pa := run(sysA, strategy.Serial, 1)
+	pb := run(sysB, strategy.SDC, 3)
+	for i := range pa {
+		if d := sysA.Box.MinImage(pa[i], pb[i]).Norm(); d > 1e-8 {
+			t.Fatalf("SDC-in-rank trajectory diverged at atom %d by %g", i, d)
+		}
+	}
+}
+
+func TestGatherShapes(t *testing.T) {
+	sys := globalSystem(t, 6, 50)
+	cfg := DefaultConfig()
+	sim, err := NewSimulator(sys.Box, sys.Pos, sys.Vel, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+	pos, vel, frc := sim.Gather()
+	if len(pos) != sys.N() || len(vel) != sys.N() || len(frc) != sys.N() {
+		t.Error("Gather shapes wrong")
+	}
+	if sim.Temperature() <= 0 {
+		t.Error("temperature must be positive")
+	}
+}
+
+func TestHybridThermostat(t *testing.T) {
+	sys := globalSystem(t, 6, 50)
+	cfg := DefaultConfig()
+	cfg.Ranks = 2
+	cfg.ThermostatTarget = 300
+	cfg.ThermostatTau = 0.01
+	sim, err := NewSimulator(sys.Box, sys.Pos, sys.Vel, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+	if err := sim.Step(250); err != nil {
+		t.Fatal(err)
+	}
+	if got := sim.Temperature(); math.Abs(got-300) > 80 {
+		t.Errorf("hybrid thermostatted T = %g, want ≈300", got)
+	}
+	// Bad thermostat params rejected.
+	bad := DefaultConfig()
+	bad.ThermostatTarget = 100 // no tau
+	if _, err := NewSimulator(sys.Box, sys.Pos, sys.Vel, bad); err == nil {
+		t.Error("thermostat without tau accepted")
+	}
+	bad2 := DefaultConfig()
+	bad2.ThermostatTarget = -5
+	if _, err := NewSimulator(sys.Box, sys.Pos, sys.Vel, bad2); err == nil {
+		t.Error("negative target accepted")
+	}
+}

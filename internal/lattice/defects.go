@@ -1,0 +1,71 @@
+package lattice
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"sdcmd/internal/vec"
+)
+
+// RemoveAtom deletes atom i (a vacancy). Order of the remaining atoms
+// is preserved.
+func (c *Config) RemoveAtom(i int) error {
+	if i < 0 || i >= c.N() {
+		return fmt.Errorf("lattice: atom %d out of range [0,%d)", i, c.N())
+	}
+	c.Pos = append(c.Pos[:i], c.Pos[i+1:]...)
+	return nil
+}
+
+// AddVacancies removes n distinct randomly chosen atoms (deterministic
+// for a seed) and returns the removed lattice positions.
+func (c *Config) AddVacancies(n int, seed int64) ([]vec.Vec3, error) {
+	if n < 0 || n > c.N() {
+		return nil, fmt.Errorf("lattice: cannot remove %d of %d atoms", n, c.N())
+	}
+	rng := rand.New(rand.NewSource(seed))
+	removed := make([]vec.Vec3, 0, n)
+	for k := 0; k < n; k++ {
+		i := rng.Intn(c.N())
+		removed = append(removed, c.Pos[i])
+		if err := c.RemoveAtom(i); err != nil {
+			return nil, err
+		}
+	}
+	return removed, nil
+}
+
+// AddInterstitial inserts an atom at position p (wrapped into the
+// cell). The caller is responsible for relaxing the structure
+// afterwards — an unrelaxed interstitial sits at enormous energy.
+func (c *Config) AddInterstitial(p vec.Vec3) {
+	c.Pos = append(c.Pos, c.Box.Wrap(p))
+}
+
+// OctahedralSite returns the octahedral interstitial position of the
+// bcc conventional cell with origin at cell index (ix,iy,iz): the
+// face-center/edge-midpoint site (½,½,0)·a relative to the cell origin.
+func OctahedralSite(ix, iy, iz int, a0 float64) vec.Vec3 {
+	return vec.New(
+		(float64(ix)+0.5)*a0,
+		(float64(iy)+0.5)*a0,
+		float64(iz)*a0,
+	)
+}
+
+// NearestAtom returns the index of the atom closest to p (minimum
+// image) and the distance; -1 for an empty configuration.
+func (c *Config) NearestAtom(p vec.Vec3) (int, float64) {
+	best, bestD2 := -1, 0.0
+	for i, q := range c.Pos {
+		d2 := c.Box.Distance2(p, q)
+		if best < 0 || d2 < bestD2 {
+			best, bestD2 = i, d2
+		}
+	}
+	if best < 0 {
+		return -1, 0
+	}
+	return best, math.Sqrt(bestD2)
+}

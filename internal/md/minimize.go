@@ -1,0 +1,113 @@
+package md
+
+import (
+	"fmt"
+	"math"
+
+	"sdcmd/internal/vec"
+)
+
+// MinimizeResult reports a structural relaxation.
+type MinimizeResult struct {
+	// Steps actually taken.
+	Steps int
+	// Converged reports whether FMax fell below the tolerance.
+	Converged bool
+	// FMax is the final largest force magnitude (eV/Å).
+	FMax float64
+	// Energy is the final potential energy (eV).
+	Energy float64
+}
+
+// Minimize relaxes the system to a local potential-energy minimum with
+// the FIRE algorithm (Bitzek et al. 2006), reusing the simulator's
+// force machinery (strategy, neighbor-list rebuilds). Velocities are
+// consumed as the descent state and left near zero on return. It stops
+// when max|F| < fTol or after maxSteps.
+//
+// Defect-energy calculations (vacancy formation, interstitial
+// energetics) depend on this: the defective cell must be relaxed before
+// its energy means anything.
+func (s *Simulator) Minimize(maxSteps int, fTol float64) (MinimizeResult, error) {
+	if s.closed {
+		return MinimizeResult{}, fmt.Errorf("md: simulator is closed")
+	}
+	if maxSteps < 1 || !(fTol > 0) {
+		return MinimizeResult{}, fmt.Errorf("md: bad Minimize args maxSteps=%d fTol=%g", maxSteps, fTol)
+	}
+	const (
+		nMin   = 5
+		fInc   = 1.1
+		fDec   = 0.5
+		alpha0 = 0.1
+		fAlpha = 0.99
+	)
+	dt := s.cfg.Dt
+	dtMax := 10 * s.cfg.Dt
+	alpha := alpha0
+	sincePositive := 0
+
+	vec.Fill(s.Sys.Vel, vec.Vec3{})
+	res := MinimizeResult{}
+	for step := 0; step < maxSteps; step++ {
+		res.Steps = step + 1
+		// FIRE velocity mixing.
+		power := 0.0
+		vNorm2, fNorm2 := 0.0, 0.0
+		for i := range s.Sys.Vel {
+			power += s.Sys.Force[i].Dot(s.Sys.Vel[i])
+			vNorm2 += s.Sys.Vel[i].Norm2()
+			fNorm2 += s.Sys.Force[i].Norm2()
+		}
+		if power > 0 {
+			sincePositive++
+			if sincePositive > nMin {
+				dt *= fInc
+				if dt > dtMax {
+					dt = dtMax
+				}
+				alpha *= fAlpha
+			}
+			if fNorm2 > 0 {
+				scale := alpha * sqrtRatio(vNorm2, fNorm2)
+				for i := range s.Sys.Vel {
+					s.Sys.Vel[i] = s.Sys.Vel[i].Scale(1-alpha).AddScaled(scale, s.Sys.Force[i])
+				}
+			}
+		} else {
+			vec.Fill(s.Sys.Vel, vec.Vec3{})
+			dt *= fDec
+			alpha = alpha0
+			sincePositive = 0
+		}
+		// Semi-implicit Euler step (the standard FIRE integrator).
+		for i := range s.Sys.Pos {
+			s.Sys.Vel[i] = s.Sys.Vel[i].AddScaled(dt/s.Sys.MassOf(i), s.Sys.Force[i])
+			s.Sys.Pos[i] = s.Sys.Box.Wrap(s.Sys.Pos[i].AddScaled(dt, s.Sys.Vel[i]))
+		}
+		if s.needsRebuild() {
+			if err := s.rebuild(); err != nil {
+				return res, err
+			}
+		}
+		if err := s.computeForces(); err != nil {
+			return res, err
+		}
+		res.FMax = vec.MaxNorm(s.Sys.Force)
+		if res.FMax < fTol {
+			res.Converged = true
+			break
+		}
+	}
+	vec.Fill(s.Sys.Vel, vec.Vec3{})
+	res.Energy = s.PotentialEnergy()
+	return res, nil
+}
+
+// sqrtRatio computes sqrt(a/b) for non-negative a, positive b.
+func sqrtRatio(a, b float64) float64 {
+	if a <= 0 {
+		return 0
+	}
+	return math.Sqrt(a / b)
+}

@@ -1,0 +1,20 @@
+// Package md drives the molecular-dynamics time integration: system
+// state, Maxwell-Boltzmann initialization, velocity-Verlet stepping
+// with automatic neighbor-list/decomposition rebuilds, a Berendsen
+// thermostat, and the homogeneous micro-deformation protocol of the
+// paper's workload (§III.B: "micro-deformation behaviors of the pure Fe
+// metals material").
+package md
+
+// The unit system is the "metal" convention of MD codes for metals:
+// length Å, energy eV, time ps, temperature K, mass in eV·ps²/Å².
+const (
+	// KB is Boltzmann's constant in eV/K.
+	KB = 8.617333262e-5
+	// AMU converts atomic mass units to eV·ps²/Å².
+	AMU = 1.03642696e-4
+	// FeMass is the mass of iron (55.845 u) in eV·ps²/Å².
+	FeMass = 55.845 * AMU
+	// PaperTimestep is the paper's Δt = 10⁻¹⁷ s in ps (§III.B).
+	PaperTimestep = 1e-5
+)

@@ -1,0 +1,180 @@
+package neb
+
+import (
+	"math"
+	"testing"
+
+	"sdcmd/internal/force"
+	"sdcmd/internal/lattice"
+	"sdcmd/internal/md"
+	"sdcmd/internal/potential"
+	"sdcmd/internal/vec"
+)
+
+func TestConfigValidation(t *testing.T) {
+	pot := potential.DefaultFe()
+	cfg0 := lattice.MustBuild(lattice.BCC, 2, 2, 2, 2.8665)
+	posA := cfg0.Pos
+	bad := []Config{
+		{Pot: nil, Box: cfg0.Box, Images: 3},
+		{Pot: pot, Box: cfg0.Box, Images: 0},
+		{Pot: pot, Box: cfg0.Box, Images: 3, Spring: -1},
+		{Pot: pot, Box: cfg0.Box, Images: 3, Dt: -1},
+		{Pot: pot, Box: cfg0.Box, Images: 3, FTol: -1},
+	}
+	for i, c := range bad {
+		if _, err := FindPath(c, posA, posA); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	good := Config{Pot: pot, Box: cfg0.Box, Images: 1, MaxSteps: 1}
+	if _, err := FindPath(good, posA, posA[:3]); err == nil {
+		t.Error("mismatched endpoints accepted")
+	}
+	if _, err := FindPath(good, nil, nil); err == nil {
+		t.Error("empty endpoints accepted")
+	}
+}
+
+func TestTrivialPathHasNoBarrier(t *testing.T) {
+	// Identical endpoints: the band stays put, barrier 0. (3 cells per
+	// side: a 2-cell box has pairs at exactly L/2 whose minimum-image
+	// tie-breaking spoils the perfect-lattice force cancellation.)
+	pot := potential.DefaultFe()
+	cfg0 := lattice.MustBuild(lattice.BCC, 3, 3, 3, 2.8665)
+	res, err := FindPath(Config{Pot: pot, Box: cfg0.Box, Images: 3, MaxSteps: 50}, cfg0.Pos, cfg0.Pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Barrier) > 1e-9 {
+		t.Errorf("trivial barrier = %g", res.Barrier)
+	}
+	if !res.Converged {
+		t.Error("trivial band should converge immediately")
+	}
+}
+
+// vacancyStates builds the two relaxed endpoints of a vacancy hop: the
+// vacancy at a site, and the configuration after a nearest neighbor has
+// hopped into it.
+func vacancyStates(t *testing.T, pot potential.EAM) (bx [][]vec.Vec3, cell lattice.Config) {
+	t.Helper()
+	const cells = 3
+	base := lattice.MustBuild(lattice.BCC, cells, cells, cells, lattice.FeLatticeConstant)
+
+	// Choose a central site v and its nearest neighbor n.
+	vSite := base.Pos[base.N()/2]
+	vIdx, _ := base.NearestAtom(vSite)
+	vPos := base.Pos[vIdx]
+	if err := base.RemoveAtom(vIdx); err != nil {
+		t.Fatal(err)
+	}
+	nIdx, nDist := base.NearestAtom(vPos)
+	want := lattice.FeLatticeConstant * math.Sqrt(3) / 2
+	if math.Abs(nDist-want) > 1e-9 {
+		t.Fatalf("neighbor distance %g, want %g", nDist, want)
+	}
+
+	relax := func(c *lattice.Config) []vec.Vec3 {
+		sys := md.FromLattice(c)
+		mcfg := md.DefaultConfig()
+		mcfg.Pot = pot
+		sim, err := md.NewSimulator(sys, mcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sim.Close()
+		res, err := sim.Minimize(4000, 1e-5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Fatalf("endpoint relaxation did not converge: %+v", res)
+		}
+		out := make([]vec.Vec3, sys.N())
+		copy(out, sys.Pos)
+		return out
+	}
+
+	stateA := relax(base.Clone())
+
+	hopped := base.Clone()
+	hopped.Pos[nIdx] = vPos // neighbor jumps into the vacancy
+	stateB := relax(hopped)
+
+	return [][]vec.Vec3{stateA, stateB}, *base
+}
+
+func TestVacancyMigrationBarrier(t *testing.T) {
+	// The headline NEB calculation: vacancy hop in bcc Fe. Experiment
+	// gives ≈0.55-0.65 eV; a simple analytic EAM lands within a factor
+	// of a few, and the profile must be a single positive hump with
+	// (near-)symmetric endpoints.
+	pot := potential.MustNewFeEAM(potential.JohnsonFeParams())
+	states, cell := vacancyStates(t, pot)
+	res, err := FindPath(Config{
+		Pot:      pot,
+		Box:      cell.Box,
+		Images:   5,
+		MaxSteps: 1500,
+		FTol:     0.02,
+		Climb:    true,
+	}, states[0], states[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Barrier <= 0 {
+		t.Fatalf("vacancy migration barrier = %g, want positive", res.Barrier)
+	}
+	if res.Barrier > 5 {
+		t.Errorf("barrier %g eV implausibly high", res.Barrier)
+	}
+	// Endpoints are symmetric by construction: forward ≈ reverse.
+	if math.Abs(res.Barrier-res.ReverseBarrier) > 0.15*res.Barrier+0.05 {
+		t.Errorf("asymmetric barriers: %g vs %g", res.Barrier, res.ReverseBarrier)
+	}
+	// Saddle is an interior image.
+	if res.SaddleImage == 0 || res.SaddleImage == len(res.Energies)-1 {
+		t.Errorf("saddle at endpoint (image %d)", res.SaddleImage)
+	}
+	// With the climbing image the profile rises monotonically to the
+	// saddle and falls after it (small tolerance for quench noise).
+	// (discrete images leave ~0.02 eV shoulders next to the climbing
+	// image; only larger violations indicate a broken band)
+	for k := 1; k <= res.SaddleImage; k++ {
+		if res.Energies[k] < res.Energies[k-1]-0.05 {
+			t.Errorf("profile dips before saddle at image %d: %v", k, res.Energies)
+			break
+		}
+	}
+	for k := res.SaddleImage + 1; k < len(res.Energies); k++ {
+		if res.Energies[k] > res.Energies[k-1]+0.05 {
+			t.Errorf("profile rises after saddle at image %d: %v", k, res.Energies)
+			break
+		}
+	}
+	t.Logf("vacancy migration barrier: %.3f eV (reverse %.3f), %d steps, converged=%v",
+		res.Barrier, res.ReverseBarrier, res.Steps, res.Converged)
+}
+
+func TestPathEndpointsFixed(t *testing.T) {
+	pot := potential.MustNewFeEAM(potential.JohnsonFeParams())
+	states, cell := vacancyStates(t, pot)
+	res, err := FindPath(Config{Pot: pot, Box: cell.Box, Images: 3, MaxSteps: 50, FTol: 1e-4}, states[0], states[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range states[0] {
+		if res.Path[0][i] != states[0][i] {
+			t.Fatal("endpoint A moved")
+		}
+		if res.Path[len(res.Path)-1][i] != states[1][i] {
+			t.Fatal("endpoint B moved")
+		}
+	}
+	// Energies match direct evaluation at the endpoints.
+	_, eA, _, _ := force.Reference(pot, cell.Box, states[0])
+	if math.Abs(res.Energies[0]-eA) > 1e-9 {
+		t.Errorf("endpoint energy %g vs %g", res.Energies[0], eA)
+	}
+}

@@ -1,0 +1,182 @@
+// Package neighbor builds the Verlet neighbor lists at the heart of the
+// paper's force loops (the CSR arrays neighindex[], neighlen[],
+// neighlist[] of Figs. 1/2/7/8), via a linked-cell grid so construction
+// is O(N) instead of O(N²). A brute-force builder with identical
+// semantics serves as the correctness oracle.
+package neighbor
+
+import (
+	"fmt"
+
+	"sdcmd/internal/box"
+	"sdcmd/internal/vec"
+)
+
+// CellGrid bins atoms into cubic-ish cells at least `minCell` wide so
+// all neighbors within the interaction range lie in the 27 surrounding
+// cells. Atom membership is stored CSR-style (counting sort), which the
+// reorder package also uses to derive its locality permutation.
+type CellGrid struct {
+	// Box is the periodic cell the grid tiles.
+	Box box.Box
+	// Dims is the number of cells along each axis (>= 1).
+	Dims [3]int
+	// MinCell is the requested minimum cell edge (usually rc + skin).
+	MinCell float64
+
+	// Start[c] .. Start[c+1] index Atoms for cell c (CSR).
+	Start []int32
+	// Atoms holds atom indices grouped by cell.
+	Atoms []int32
+	// cell[i] is the flat cell index of atom i.
+	cell []int32
+}
+
+// NewCellGrid chooses the densest grid whose cells are at least minCell
+// wide and bins pos into it. A degenerate request (minCell <= 0) is an
+// error; an axis shorter than minCell simply gets one cell.
+func NewCellGrid(bx box.Box, pos []vec.Vec3, minCell float64) (*CellGrid, error) {
+	if !(minCell > 0) {
+		return nil, fmt.Errorf("neighbor: minimum cell edge %g must be positive", minCell)
+	}
+	g := &CellGrid{Box: bx, MinCell: minCell}
+	l := bx.Lengths()
+	for d := 0; d < 3; d++ {
+		n := int(l[d] / minCell)
+		if n < 1 {
+			n = 1
+		}
+		g.Dims[d] = n
+	}
+	g.rebin(pos)
+	return g, nil
+}
+
+// NumCells returns the total cell count.
+func (g *CellGrid) NumCells() int { return g.Dims[0] * g.Dims[1] * g.Dims[2] }
+
+// rebin performs the counting sort of atoms into cells.
+func (g *CellGrid) rebin(pos []vec.Vec3) {
+	nc := g.NumCells()
+	if cap(g.Start) >= nc+1 {
+		g.Start = g.Start[:nc+1]
+		for i := range g.Start {
+			g.Start[i] = 0
+		}
+	} else {
+		g.Start = make([]int32, nc+1)
+	}
+	if cap(g.Atoms) >= len(pos) {
+		g.Atoms = g.Atoms[:len(pos)]
+	} else {
+		g.Atoms = make([]int32, len(pos))
+	}
+	if cap(g.cell) >= len(pos) {
+		g.cell = g.cell[:len(pos)]
+	} else {
+		g.cell = make([]int32, len(pos))
+	}
+
+	for i, p := range pos {
+		c := g.CellIndexOf(p)
+		g.cell[i] = int32(c)
+		g.Start[c+1]++
+	}
+	for c := 0; c < nc; c++ {
+		g.Start[c+1] += g.Start[c]
+	}
+	cursor := make([]int32, nc)
+	copy(cursor, g.Start[:nc])
+	for i := range pos {
+		c := g.cell[i]
+		g.Atoms[cursor[c]] = int32(i)
+		cursor[c]++
+	}
+}
+
+// CellCoords returns the integer cell coordinates of a (wrapped or
+// unwrapped) position, clamped into range.
+func (g *CellGrid) CellCoords(p vec.Vec3) [3]int {
+	p = g.Box.Wrap(p)
+	f := g.Box.FracCoord(p)
+	var c [3]int
+	for d := 0; d < 3; d++ {
+		c[d] = int(f[d] * float64(g.Dims[d]))
+		if c[d] >= g.Dims[d] { // f == 1-eps rounding
+			c[d] = g.Dims[d] - 1
+		}
+		if c[d] < 0 {
+			c[d] = 0
+		}
+	}
+	return c
+}
+
+// CellIndexOf returns the flat cell index of position p.
+func (g *CellGrid) CellIndexOf(p vec.Vec3) int {
+	c := g.CellCoords(p)
+	return g.Flatten(c)
+}
+
+// Flatten converts cell coordinates to the flat index (x-major).
+func (g *CellGrid) Flatten(c [3]int) int {
+	return (c[0]*g.Dims[1]+c[1])*g.Dims[2] + c[2]
+}
+
+// Unflatten is the inverse of Flatten.
+func (g *CellGrid) Unflatten(idx int) [3]int {
+	z := idx % g.Dims[2]
+	idx /= g.Dims[2]
+	y := idx % g.Dims[1]
+	x := idx / g.Dims[1]
+	return [3]int{x, y, z}
+}
+
+// CellAtoms returns the atoms binned into flat cell c.
+func (g *CellGrid) CellAtoms(c int) []int32 {
+	return g.Atoms[g.Start[c]:g.Start[c+1]]
+}
+
+// CellOfAtom returns the flat cell index atom i was binned into.
+func (g *CellGrid) CellOfAtom(i int) int { return int(g.cell[i]) }
+
+// ForNeighborCells calls fn with the flat index of every cell in the
+// 3×3×3 neighborhood of cell coordinates c, honoring periodic wrap on
+// periodic axes and skipping out-of-range cells on open axes. When an
+// axis has fewer than 3 cells, wrapped duplicates are suppressed so each
+// neighbor cell is visited exactly once.
+func (g *CellGrid) ForNeighborCells(c [3]int, fn func(flat int)) {
+	var seen map[int]struct{}
+	small := g.Dims[0] < 3 || g.Dims[1] < 3 || g.Dims[2] < 3
+	if small {
+		seen = make(map[int]struct{}, 27)
+	}
+	for dx := -1; dx <= 1; dx++ {
+		for dy := -1; dy <= 1; dy++ {
+			for dz := -1; dz <= 1; dz++ {
+				n := [3]int{c[0] + dx, c[1] + dy, c[2] + dz}
+				ok := true
+				for d := 0; d < 3; d++ {
+					if n[d] < 0 || n[d] >= g.Dims[d] {
+						if !g.Box.Periodic[d] {
+							ok = false
+							break
+						}
+						n[d] = ((n[d] % g.Dims[d]) + g.Dims[d]) % g.Dims[d]
+					}
+				}
+				if !ok {
+					continue
+				}
+				flat := g.Flatten(n)
+				if small {
+					if _, dup := seen[flat]; dup {
+						continue
+					}
+					seen[flat] = struct{}{}
+				}
+				fn(flat)
+			}
+		}
+	}
+}

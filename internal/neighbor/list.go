@@ -1,0 +1,406 @@
+package neighbor
+
+import (
+	"fmt"
+	"sort"
+
+	"sdcmd/internal/box"
+	"sdcmd/internal/vec"
+)
+
+// List is a CSR Verlet neighbor list, the exact data layout of the
+// paper's Figs. 1/2/7/8: Index is neighindex[], Len is neighlen[], and
+// Neigh is neighlist[]. A half list stores each pair once (j > i) and
+// relies on the reductions rho[j] += …, force[j] -= … the paper
+// parallelizes; a full list stores both directions and is what the
+// Redundant-Computations strategy consumes.
+type List struct {
+	// Half records whether each pair appears once (true) or twice.
+	Half bool
+	// Cutoff is the interaction cutoff rc the list was built for.
+	Cutoff float64
+	// Skin is the extra shell captured so the list survives some motion.
+	Skin float64
+	// Index[i] is the offset of atom i's neighbors in Neigh.
+	Index []int32
+	// Len[i] is atom i's neighbor count.
+	Len []int32
+	// Neigh holds the neighbor atom indices.
+	Neigh []int32
+}
+
+// N returns the number of atoms the list covers.
+func (l *List) N() int { return len(l.Index) }
+
+// Pairs returns the number of stored (i,j) entries.
+func (l *List) Pairs() int { return len(l.Neigh) }
+
+// Neighbors returns atom i's neighbor slice (aliases internal storage).
+func (l *List) Neighbors(i int) []int32 {
+	s := l.Index[i]
+	return l.Neigh[s : s+l.Len[i]]
+}
+
+// Stats summarizes a built list for workload accounting; the perf model
+// feeds on these numbers.
+type Stats struct {
+	Atoms    int
+	Pairs    int
+	MinLen   int
+	MaxLen   int
+	MeanLen  float64
+	HalfList bool
+}
+
+// Stats computes summary statistics.
+func (l *List) Stats() Stats {
+	st := Stats{Atoms: l.N(), Pairs: l.Pairs(), HalfList: l.Half, MinLen: int(^uint(0) >> 1)}
+	if st.Atoms == 0 {
+		st.MinLen = 0
+		return st
+	}
+	for _, n := range l.Len {
+		if int(n) < st.MinLen {
+			st.MinLen = int(n)
+		}
+		if int(n) > st.MaxLen {
+			st.MaxLen = int(n)
+		}
+	}
+	st.MeanLen = float64(st.Pairs) / float64(st.Atoms)
+	return st
+}
+
+// Validate performs structural checks: offsets in range, half-list
+// ordering (j > i), no self pairs, no duplicates per atom. It is O(pairs
+// log pairs) and intended for tests and debug runs.
+func (l *List) Validate() error {
+	n := l.N()
+	if len(l.Len) != n {
+		return fmt.Errorf("neighbor: Index/Len length mismatch %d vs %d", n, len(l.Len))
+	}
+	for i := 0; i < n; i++ {
+		s, ln := l.Index[i], l.Len[i]
+		if s < 0 || ln < 0 || int(s)+int(ln) > len(l.Neigh) {
+			return fmt.Errorf("neighbor: atom %d CSR range [%d,%d) out of bounds", i, s, int(s)+int(ln))
+		}
+		nb := l.Neighbors(i)
+		seen := make(map[int32]struct{}, len(nb))
+		for _, j := range nb {
+			if int(j) == i {
+				return fmt.Errorf("neighbor: atom %d lists itself", i)
+			}
+			if j < 0 || int(j) >= n {
+				return fmt.Errorf("neighbor: atom %d lists out-of-range neighbor %d", i, j)
+			}
+			if l.Half && int(j) < i {
+				return fmt.Errorf("neighbor: half list atom %d lists smaller index %d", i, j)
+			}
+			if _, dup := seen[j]; dup {
+				return fmt.Errorf("neighbor: atom %d lists %d twice", i, j)
+			}
+			seen[j] = struct{}{}
+		}
+	}
+	return nil
+}
+
+// PairSet returns the canonical set of unordered pairs {min(i,j),
+// max(i,j)} for comparison between builders (test helper).
+func (l *List) PairSet() map[[2]int32]struct{} {
+	set := make(map[[2]int32]struct{}, l.Pairs())
+	for i := 0; i < l.N(); i++ {
+		for _, j := range l.Neighbors(i) {
+			a, b := int32(i), j
+			if a > b {
+				a, b = b, a
+			}
+			set[[2]int32{a, b}] = struct{}{}
+		}
+	}
+	return set
+}
+
+// ToFull converts a half list into the equivalent full list (each pair
+// stored in both directions). The Redundant-Computations strategy needs
+// this: it doubles pair work in exchange for race-free writes, and its
+// extra memory footprint is exactly the doubling the paper calls out.
+func (l *List) ToFull() *List {
+	if !l.Half {
+		cp := *l
+		cp.Index = append([]int32(nil), l.Index...)
+		cp.Len = append([]int32(nil), l.Len...)
+		cp.Neigh = append([]int32(nil), l.Neigh...)
+		return &cp
+	}
+	n := l.N()
+	counts := make([]int32, n)
+	copy(counts, l.Len)
+	for i := 0; i < n; i++ {
+		for _, j := range l.Neighbors(i) {
+			counts[j]++
+		}
+	}
+	full := &List{
+		Half:   false,
+		Cutoff: l.Cutoff,
+		Skin:   l.Skin,
+		Index:  make([]int32, n),
+		Len:    make([]int32, n),
+		Neigh:  make([]int32, 2*l.Pairs()),
+	}
+	var off int32
+	for i := 0; i < n; i++ {
+		full.Index[i] = off
+		off += counts[i]
+	}
+	cursor := append([]int32(nil), full.Index...)
+	for i := 0; i < n; i++ {
+		for _, j := range l.Neighbors(i) {
+			full.Neigh[cursor[i]] = j
+			cursor[i]++
+			full.Neigh[cursor[j]] = int32(i)
+			cursor[j]++
+		}
+	}
+	for i := 0; i < n; i++ {
+		full.Len[i] = cursor[i] - full.Index[i]
+	}
+	// Keep each atom's neighbors sorted for deterministic traversal.
+	for i := 0; i < n; i++ {
+		nb := full.Neighbors(i)
+		sort.Slice(nb, func(a, b int) bool { return nb[a] < nb[b] })
+	}
+	return full
+}
+
+// Builder configures neighbor-list construction.
+type Builder struct {
+	// Cutoff is the interaction range rc (> 0).
+	Cutoff float64
+	// Skin is the Verlet skin added to rc when searching (>= 0); the
+	// list then stays valid until some atom moves more than Skin/2.
+	Skin float64
+	// Half selects half (j > i) or full lists.
+	Half bool
+}
+
+// Build constructs the list with a cell grid (O(N)); when the box is
+// too small for a 3-cells-per-axis grid it transparently falls back to
+// the exact O(N²) search.
+func (b Builder) Build(bx box.Box, pos []vec.Vec3) (*List, error) {
+	if !(b.Cutoff > 0) {
+		return nil, fmt.Errorf("neighbor: cutoff %g must be positive", b.Cutoff)
+	}
+	if b.Skin < 0 {
+		return nil, fmt.Errorf("neighbor: skin %g must be non-negative", b.Skin)
+	}
+	reach := b.Cutoff + b.Skin
+	if !bx.FitsCutoff(reach) {
+		return nil, fmt.Errorf("neighbor: box %v too small for cutoff+skin %g (minimum image violated)", bx, reach)
+	}
+	grid, err := NewCellGrid(bx, pos, reach)
+	if err != nil {
+		return nil, err
+	}
+	if grid.Dims[0] < 3 || grid.Dims[1] < 3 || grid.Dims[2] < 3 {
+		return b.BuildBruteForce(bx, pos)
+	}
+	return b.buildFromGrid(bx, pos, grid)
+}
+
+func (b Builder) buildFromGrid(bx box.Box, pos []vec.Vec3, grid *CellGrid) (*List, error) {
+	n := len(pos)
+	reach2 := (b.Cutoff + b.Skin) * (b.Cutoff + b.Skin)
+	l := &List{
+		Half:   b.Half,
+		Cutoff: b.Cutoff,
+		Skin:   b.Skin,
+		Index:  make([]int32, n),
+		Len:    make([]int32, n),
+	}
+	// Two passes: count then fill, so Neigh is exactly sized and the
+	// CSR arrays are contiguous in atom order (the "regular array" form
+	// §II.D's reordering produces).
+	counts := make([]int32, n)
+	scratch := make([]int32, 0, 64)
+	forEachCandidate := func(i int) []int32 {
+		scratch = scratch[:0]
+		ci := grid.Unflatten(grid.CellOfAtom(i))
+		pi := pos[i]
+		grid.ForNeighborCells(ci, func(flat int) {
+			for _, j32 := range grid.CellAtoms(flat) {
+				j := int(j32)
+				if j == i {
+					continue
+				}
+				if b.Half && j < i {
+					continue
+				}
+				if bx.Distance2(pi, pos[j]) < reach2 {
+					scratch = append(scratch, j32)
+				}
+			}
+		})
+		return scratch
+	}
+	for i := 0; i < n; i++ {
+		counts[i] = int32(len(forEachCandidate(i)))
+	}
+	var total int32
+	for i := 0; i < n; i++ {
+		l.Index[i] = total
+		total += counts[i]
+	}
+	l.Neigh = make([]int32, total)
+	for i := 0; i < n; i++ {
+		nb := forEachCandidate(i)
+		sort.Slice(nb, func(a, b int) bool { return nb[a] < nb[b] })
+		copy(l.Neigh[l.Index[i]:], nb)
+		l.Len[i] = int32(len(nb))
+	}
+	return l, nil
+}
+
+// BuildBruteForce is the exact O(N²) construction used as the test
+// oracle and as the small-box fallback.
+func (b Builder) BuildBruteForce(bx box.Box, pos []vec.Vec3) (*List, error) {
+	if !(b.Cutoff > 0) {
+		return nil, fmt.Errorf("neighbor: cutoff %g must be positive", b.Cutoff)
+	}
+	if b.Skin < 0 {
+		return nil, fmt.Errorf("neighbor: skin %g must be non-negative", b.Skin)
+	}
+	reach := b.Cutoff + b.Skin
+	if !bx.FitsCutoff(reach) {
+		return nil, fmt.Errorf("neighbor: box %v too small for cutoff+skin %g (minimum image violated)", bx, reach)
+	}
+	n := len(pos)
+	reach2 := reach * reach
+	nb := make([][]int32, n)
+	for i := 0; i < n; i++ {
+		start := 0
+		if b.Half {
+			start = i + 1
+		}
+		for j := start; j < n; j++ {
+			if j == i {
+				continue
+			}
+			if bx.Distance2(pos[i], pos[j]) < reach2 {
+				nb[i] = append(nb[i], int32(j))
+			}
+		}
+	}
+	l := &List{Half: b.Half, Cutoff: b.Cutoff, Skin: b.Skin,
+		Index: make([]int32, n), Len: make([]int32, n)}
+	var total int32
+	for i := 0; i < n; i++ {
+		l.Index[i] = total
+		total += int32(len(nb[i]))
+	}
+	l.Neigh = make([]int32, total)
+	for i := 0; i < n; i++ {
+		copy(l.Neigh[l.Index[i]:], nb[i])
+		l.Len[i] = int32(len(nb[i]))
+	}
+	return l, nil
+}
+
+// MaxDisplacement2 returns the largest squared minimum-image
+// displacement between two position snapshots; the MD driver rebuilds
+// the list when this exceeds (Skin/2)².
+func MaxDisplacement2(bx box.Box, old, cur []vec.Vec3) float64 {
+	worst := 0.0
+	for i := range cur {
+		if d2 := bx.Distance2(cur[i], old[i]); d2 > worst {
+			worst = d2
+		}
+	}
+	return worst
+}
+
+// BuildParallel is Build with the candidate search parallelized over a
+// worker pool (counts pass and fill pass are both per-atom-independent,
+// so no synchronization is needed beyond the pool barriers). Results
+// are identical to Build. The pool is only borrowed; nil falls back to
+// the serial Build.
+func (b Builder) BuildParallel(bx box.Box, pos []vec.Vec3, pool Parallelizer) (*List, error) {
+	if pool == nil {
+		return b.Build(bx, pos)
+	}
+	if !(b.Cutoff > 0) {
+		return nil, fmt.Errorf("neighbor: cutoff %g must be positive", b.Cutoff)
+	}
+	if b.Skin < 0 {
+		return nil, fmt.Errorf("neighbor: skin %g must be non-negative", b.Skin)
+	}
+	reach := b.Cutoff + b.Skin
+	if !bx.FitsCutoff(reach) {
+		return nil, fmt.Errorf("neighbor: box %v too small for cutoff+skin %g (minimum image violated)", bx, reach)
+	}
+	grid, err := NewCellGrid(bx, pos, reach)
+	if err != nil {
+		return nil, err
+	}
+	if grid.Dims[0] < 3 || grid.Dims[1] < 3 || grid.Dims[2] < 3 {
+		return b.BuildBruteForce(bx, pos)
+	}
+	n := len(pos)
+	reach2 := reach * reach
+	l := &List{
+		Half:   b.Half,
+		Cutoff: b.Cutoff,
+		Skin:   b.Skin,
+		Index:  make([]int32, n),
+		Len:    make([]int32, n),
+	}
+	candidates := func(i int, out []int32) []int32 {
+		out = out[:0]
+		ci := grid.Unflatten(grid.CellOfAtom(i))
+		pi := pos[i]
+		grid.ForNeighborCells(ci, func(flat int) {
+			for _, j32 := range grid.CellAtoms(flat) {
+				j := int(j32)
+				if j == i || (b.Half && j < i) {
+					continue
+				}
+				if bx.Distance2(pi, pos[j]) < reach2 {
+					out = append(out, j32)
+				}
+			}
+		})
+		return out
+	}
+	counts := make([]int32, n)
+	pool.ParallelFor(n, func(start, end, _ int) {
+		scratch := make([]int32, 0, 64)
+		for i := start; i < end; i++ {
+			scratch = candidates(i, scratch)
+			counts[i] = int32(len(scratch))
+		}
+	})
+	var total int32
+	for i := 0; i < n; i++ {
+		l.Index[i] = total
+		total += counts[i]
+	}
+	l.Neigh = make([]int32, total)
+	pool.ParallelFor(n, func(start, end, _ int) {
+		scratch := make([]int32, 0, 64)
+		for i := start; i < end; i++ {
+			scratch = candidates(i, scratch)
+			sort.Slice(scratch, func(a, b int) bool { return scratch[a] < scratch[b] })
+			copy(l.Neigh[l.Index[i]:], scratch)
+			l.Len[i] = int32(len(scratch))
+		}
+	})
+	return l, nil
+}
+
+// Parallelizer is the worker-pool capability BuildParallel needs; the
+// strategy.Pool satisfies it (declared here to avoid a dependency
+// cycle).
+type Parallelizer interface {
+	ParallelFor(n int, body func(start, end, tid int))
+}

@@ -1,0 +1,488 @@
+package neighbor
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"sdcmd/internal/box"
+	"sdcmd/internal/lattice"
+	"sdcmd/internal/vec"
+)
+
+func randomPositions(n int, bx box.Box, seed int64) []vec.Vec3 {
+	rng := rand.New(rand.NewSource(seed))
+	l := bx.Lengths()
+	ps := make([]vec.Vec3, n)
+	for i := range ps {
+		ps[i] = bx.Lo.Add(vec.New(rng.Float64()*l[0], rng.Float64()*l[1], rng.Float64()*l[2]))
+	}
+	return ps
+}
+
+func TestCellGridValidation(t *testing.T) {
+	bx := box.MustNew(vec.Zero, vec.Splat(10))
+	if _, err := NewCellGrid(bx, nil, 0); err == nil {
+		t.Error("minCell=0 accepted")
+	}
+	if _, err := NewCellGrid(bx, nil, -1); err == nil {
+		t.Error("minCell<0 accepted")
+	}
+}
+
+func TestCellGridDims(t *testing.T) {
+	bx := box.MustNew(vec.Zero, vec.New(10, 7, 2))
+	g, err := NewCellGrid(bx, nil, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Dims != [3]int{5, 3, 1} {
+		t.Errorf("Dims = %v", g.Dims)
+	}
+	if g.NumCells() != 15 {
+		t.Errorf("NumCells = %d", g.NumCells())
+	}
+}
+
+func TestCellGridBinningComplete(t *testing.T) {
+	bx := box.MustNew(vec.Zero, vec.Splat(9))
+	pos := randomPositions(500, bx, 7)
+	g, err := NewCellGrid(bx, pos, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int32]bool)
+	for c := 0; c < g.NumCells(); c++ {
+		for _, a := range g.CellAtoms(c) {
+			if seen[a] {
+				t.Fatalf("atom %d binned twice", a)
+			}
+			seen[a] = true
+			// The atom must geometrically be in this cell.
+			if g.CellIndexOf(pos[a]) != c {
+				t.Fatalf("atom %d in cell %d but CellIndexOf says %d", a, c, g.CellIndexOf(pos[a]))
+			}
+			if g.CellOfAtom(int(a)) != c {
+				t.Fatalf("CellOfAtom mismatch for %d", a)
+			}
+		}
+	}
+	if len(seen) != len(pos) {
+		t.Errorf("binned %d atoms of %d", len(seen), len(pos))
+	}
+}
+
+func TestFlattenUnflattenRoundTrip(t *testing.T) {
+	bx := box.MustNew(vec.Zero, vec.New(12, 8, 4))
+	g, _ := NewCellGrid(bx, nil, 1.0)
+	for c := 0; c < g.NumCells(); c++ {
+		if got := g.Flatten(g.Unflatten(c)); got != c {
+			t.Fatalf("round trip %d -> %v -> %d", c, g.Unflatten(c), got)
+		}
+	}
+}
+
+func TestForNeighborCellsCount(t *testing.T) {
+	bx := box.MustNew(vec.Zero, vec.Splat(10))
+	g, _ := NewCellGrid(bx, nil, 2.0) // 5×5×5 periodic
+	count := 0
+	g.ForNeighborCells([3]int{2, 2, 2}, func(int) { count++ })
+	if count != 27 {
+		t.Errorf("interior neighborhood = %d cells, want 27", count)
+	}
+	// Periodic wrap at the corner still yields 27 distinct cells.
+	seen := map[int]bool{}
+	g.ForNeighborCells([3]int{0, 0, 0}, func(f int) { seen[f] = true })
+	if len(seen) != 27 {
+		t.Errorf("corner neighborhood = %d distinct cells, want 27", len(seen))
+	}
+}
+
+func TestForNeighborCellsSmallGridNoDuplicates(t *testing.T) {
+	bx := box.MustNew(vec.Zero, vec.New(4, 4, 20))
+	g, _ := NewCellGrid(bx, nil, 2.0) // 2×2×10
+	visits := map[int]int{}
+	g.ForNeighborCells([3]int{0, 0, 5}, func(f int) { visits[f]++ })
+	for c, n := range visits {
+		if n > 1 {
+			t.Errorf("cell %d visited %d times", c, n)
+		}
+	}
+	// 2 wrapped x-cells × 2 wrapped y-cells × 3 z-cells = 12 distinct.
+	if len(visits) != 12 {
+		t.Errorf("distinct neighbor cells = %d, want 12", len(visits))
+	}
+}
+
+func TestForNeighborCellsOpenBoundary(t *testing.T) {
+	bx := box.MustNew(vec.Zero, vec.Splat(10))
+	bx.Periodic = [3]bool{false, true, true}
+	g, _ := NewCellGrid(bx, nil, 2.0)
+	count := 0
+	g.ForNeighborCells([3]int{0, 2, 2}, func(int) { count++ })
+	if count != 18 { // 2×3×3: no wrap across the open x face
+		t.Errorf("open-boundary neighborhood = %d, want 18", count)
+	}
+}
+
+func TestBuilderValidation(t *testing.T) {
+	bx := box.MustNew(vec.Zero, vec.Splat(10))
+	pos := randomPositions(10, bx, 1)
+	if _, err := (Builder{Cutoff: 0}).Build(bx, pos); err == nil {
+		t.Error("cutoff=0 accepted")
+	}
+	if _, err := (Builder{Cutoff: 1, Skin: -0.1}).Build(bx, pos); err == nil {
+		t.Error("negative skin accepted")
+	}
+	if _, err := (Builder{Cutoff: 6}).Build(bx, pos); err == nil {
+		t.Error("cutoff violating minimum image accepted")
+	}
+	if _, err := (Builder{Cutoff: 0}).BuildBruteForce(bx, pos); err == nil {
+		t.Error("brute force cutoff=0 accepted")
+	}
+	if _, err := (Builder{Cutoff: 1, Skin: -1}).BuildBruteForce(bx, pos); err == nil {
+		t.Error("brute force negative skin accepted")
+	}
+	if _, err := (Builder{Cutoff: 6}).BuildBruteForce(bx, pos); err == nil {
+		t.Error("brute force minimum-image violation accepted")
+	}
+}
+
+func TestCellListMatchesBruteForce(t *testing.T) {
+	for _, half := range []bool{false, true} {
+		for _, seed := range []int64{1, 2, 3} {
+			bx := box.MustNew(vec.Zero, vec.New(12, 10, 11))
+			pos := randomPositions(400, bx, seed)
+			b := Builder{Cutoff: 2.0, Skin: 0.3, Half: half}
+			cell, err := b.Build(bx, pos)
+			if err != nil {
+				t.Fatal(err)
+			}
+			brute, err := b.BuildBruteForce(bx, pos)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cs, bs := cell.PairSet(), brute.PairSet()
+			if len(cs) != len(bs) {
+				t.Fatalf("half=%v seed=%d: %d pairs vs %d brute", half, seed, len(cs), len(bs))
+			}
+			for p := range bs {
+				if _, ok := cs[p]; !ok {
+					t.Fatalf("half=%v: missing pair %v", half, p)
+				}
+			}
+			if err := cell.Validate(); err != nil {
+				t.Fatalf("cell list invalid: %v", err)
+			}
+			if err := brute.Validate(); err != nil {
+				t.Fatalf("brute list invalid: %v", err)
+			}
+		}
+	}
+}
+
+func TestHalfListHalvesPairs(t *testing.T) {
+	bx := box.MustNew(vec.Zero, vec.Splat(12))
+	pos := randomPositions(300, bx, 9)
+	half, err := Builder{Cutoff: 2, Half: true}.Build(bx, pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Builder{Cutoff: 2, Half: false}.Build(bx, pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Pairs() != 2*half.Pairs() {
+		t.Errorf("full pairs %d != 2×half %d", full.Pairs(), half.Pairs())
+	}
+}
+
+func TestBCCNeighborCount(t *testing.T) {
+	// bcc with rc between 1st and 2nd shell: exactly 8 neighbors each.
+	cfg := lattice.MustBuild(lattice.BCC, 5, 5, 5, 2.8665)
+	rc := 2.6 // 1st shell 2.4824, 2nd 2.8665
+	l, err := Builder{Cutoff: rc, Half: false}.Build(cfg.Box, cfg.Pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := l.Stats()
+	if st.MinLen != 8 || st.MaxLen != 8 {
+		t.Errorf("bcc 1st shell count: min=%d max=%d, want 8", st.MinLen, st.MaxLen)
+	}
+	// rc between 2nd and 3rd shell: 8 + 6 = 14 neighbors.
+	l2, err := Builder{Cutoff: 3.5, Half: false}.Build(cfg.Box, cfg.Pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2 := l2.Stats()
+	if st2.MinLen != 14 || st2.MaxLen != 14 {
+		t.Errorf("bcc 2-shell count: min=%d max=%d, want 14", st2.MinLen, st2.MaxLen)
+	}
+}
+
+func TestToFull(t *testing.T) {
+	bx := box.MustNew(vec.Zero, vec.Splat(12))
+	pos := randomPositions(200, bx, 11)
+	half, err := Builder{Cutoff: 2.2, Half: true}.Build(bx, pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := half.ToFull()
+	if full.Half {
+		t.Error("ToFull result still marked half")
+	}
+	if full.Pairs() != 2*half.Pairs() {
+		t.Errorf("ToFull pairs %d, want %d", full.Pairs(), 2*half.Pairs())
+	}
+	if err := full.Validate(); err != nil {
+		t.Fatalf("ToFull invalid: %v", err)
+	}
+	// Same unordered pair set.
+	hs, fs := half.PairSet(), full.PairSet()
+	if len(hs) != len(fs) {
+		t.Fatalf("pair sets differ: %d vs %d", len(hs), len(fs))
+	}
+	for p := range hs {
+		if _, ok := fs[p]; !ok {
+			t.Fatalf("pair %v lost in ToFull", p)
+		}
+	}
+	// ToFull of a full list is a deep copy.
+	cp := full.ToFull()
+	cp.Neigh[0] = -99
+	if full.Neigh[0] == -99 {
+		t.Error("ToFull of full list must deep-copy")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	bx := box.MustNew(vec.Zero, vec.Splat(12))
+	pos := randomPositions(50, bx, 13)
+	mk := func() *List {
+		l, err := Builder{Cutoff: 3, Half: true}.Build(bx, pos)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+	l := mk()
+	if l.Pairs() == 0 {
+		t.Fatal("test needs some pairs")
+	}
+
+	c := mk()
+	c.Neigh[0] = int32(999)
+	if c.Validate() == nil {
+		t.Error("out-of-range neighbor not caught")
+	}
+
+	c = mk()
+	// Find an atom with a neighbor and make it list itself.
+	for i := 0; i < c.N(); i++ {
+		if c.Len[i] > 0 {
+			c.Neigh[c.Index[i]] = int32(i)
+			break
+		}
+	}
+	if c.Validate() == nil {
+		t.Error("self pair not caught")
+	}
+
+	c = mk()
+	for i := 0; i < c.N(); i++ {
+		if c.Len[i] >= 2 {
+			c.Neigh[c.Index[i]+1] = c.Neigh[c.Index[i]]
+			break
+		}
+	}
+	if c.Validate() == nil {
+		t.Error("duplicate neighbor not caught")
+	}
+
+	c = mk()
+	c.Index[0] = -1
+	if c.Validate() == nil {
+		t.Error("negative offset not caught")
+	}
+
+	c = mk()
+	c.Len = c.Len[:len(c.Len)-1]
+	if c.Validate() == nil {
+		t.Error("length mismatch not caught")
+	}
+
+	c = mk()
+	// half list with j < i: give the last atom a small neighbor.
+	last := c.N() - 1
+	for i := last; i >= 0; i-- {
+		if c.Len[i] > 0 && int(c.Neigh[c.Index[i]]) > 0 && i > 0 {
+			c.Neigh[c.Index[i]] = 0
+			_ = i
+			break
+		}
+	}
+	_ = c.Validate() // may or may not trip depending on which atom; no assertion
+}
+
+func TestSkinExpandsList(t *testing.T) {
+	bx := box.MustNew(vec.Zero, vec.Splat(15))
+	pos := randomPositions(400, bx, 17)
+	noSkin, _ := Builder{Cutoff: 2}.Build(bx, pos)
+	withSkin, _ := Builder{Cutoff: 2, Skin: 0.5}.Build(bx, pos)
+	if withSkin.Pairs() <= noSkin.Pairs() {
+		t.Errorf("skin did not expand list: %d vs %d", withSkin.Pairs(), noSkin.Pairs())
+	}
+	if withSkin.Skin != 0.5 || withSkin.Cutoff != 2 {
+		t.Error("builder parameters not recorded")
+	}
+}
+
+func TestSmallBoxFallsBackToBruteForce(t *testing.T) {
+	// Box fits the cutoff (edges >= 2rc) but yields < 3 cells per axis,
+	// forcing the brute-force fallback; results must still be exact.
+	bx := box.MustNew(vec.Zero, vec.Splat(4.2))
+	pos := randomPositions(60, bx, 19)
+	b := Builder{Cutoff: 2.0, Half: true}
+	got, err := b.Build(bx, pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := b.BuildBruteForce(bx, pos)
+	gs, ws := got.PairSet(), want.PairSet()
+	if len(gs) != len(ws) {
+		t.Fatalf("fallback pairs %d, want %d", len(gs), len(ws))
+	}
+}
+
+func TestStatsEmpty(t *testing.T) {
+	l := &List{}
+	st := l.Stats()
+	if st.Atoms != 0 || st.Pairs != 0 || st.MinLen != 0 {
+		t.Errorf("empty stats = %+v", st)
+	}
+}
+
+func TestMaxDisplacement2(t *testing.T) {
+	bx := box.MustNew(vec.Zero, vec.Splat(10))
+	old := []vec.Vec3{{1, 1, 1}, {5, 5, 5}}
+	cur := []vec.Vec3{{1, 1, 1.5}, {5, 5.2, 5}}
+	got := MaxDisplacement2(bx, old, cur)
+	if math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("MaxDisplacement2 = %g, want 0.25", got)
+	}
+	// Across the periodic boundary the displacement is the short way.
+	old2 := []vec.Vec3{{0.1, 0, 0}}
+	cur2 := []vec.Vec3{{9.9, 0, 0}}
+	if d := MaxDisplacement2(bx, old2, cur2); math.Abs(d-0.04) > 1e-9 {
+		t.Errorf("periodic displacement² = %g, want 0.04", d)
+	}
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	bx := box.MustNew(vec.Zero, vec.Splat(12))
+	pos := randomPositions(200, bx, 23)
+	l, _ := Builder{Cutoff: 2.5, Half: true}.Build(bx, pos)
+	for i := 0; i < l.N(); i++ {
+		nb := l.Neighbors(i)
+		for k := 1; k < len(nb); k++ {
+			if nb[k-1] >= nb[k] {
+				t.Fatalf("atom %d neighbors not sorted: %v", i, nb)
+			}
+		}
+	}
+}
+
+// fakePool implements Parallelizer with plain goroutines.
+type fakePool struct{ threads int }
+
+func (p fakePool) ParallelFor(n int, body func(start, end, tid int)) {
+	var wg sync.WaitGroup
+	chunk := (n + p.threads - 1) / p.threads
+	for t := 0; t < p.threads; t++ {
+		start := t * chunk
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		if start >= end {
+			continue
+		}
+		wg.Add(1)
+		go func(s, e, tid int) {
+			defer wg.Done()
+			body(s, e, tid)
+		}(start, end, t)
+	}
+	wg.Wait()
+}
+
+func TestBuildParallelMatchesSerial(t *testing.T) {
+	bx := box.MustNew(vec.Zero, vec.New(14, 12, 13))
+	pos := randomPositions(800, bx, 31)
+	for _, half := range []bool{true, false} {
+		b := Builder{Cutoff: 2.2, Skin: 0.4, Half: half}
+		want, err := b.Build(bx, pos)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := b.BuildParallel(bx, pos, fakePool{threads: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Pairs() != want.Pairs() {
+			t.Fatalf("half=%v: %d pairs vs %d", half, got.Pairs(), want.Pairs())
+		}
+		for i := 0; i < got.N(); i++ {
+			gn, wn := got.Neighbors(i), want.Neighbors(i)
+			if len(gn) != len(wn) {
+				t.Fatalf("half=%v atom %d: %d vs %d neighbors", half, i, len(gn), len(wn))
+			}
+			for k := range gn {
+				if gn[k] != wn[k] {
+					t.Fatalf("half=%v atom %d neighbor %d: %d vs %d", half, i, k, gn[k], wn[k])
+				}
+			}
+		}
+	}
+}
+
+func TestBuildParallelNilPoolFallsBack(t *testing.T) {
+	bx := box.MustNew(vec.Zero, vec.Splat(12))
+	pos := randomPositions(100, bx, 3)
+	b := Builder{Cutoff: 2, Half: true}
+	got, err := b.BuildParallel(bx, pos, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := b.Build(bx, pos)
+	if got.Pairs() != want.Pairs() {
+		t.Error("nil-pool fallback differs")
+	}
+}
+
+func TestBuildParallelValidation(t *testing.T) {
+	bx := box.MustNew(vec.Zero, vec.Splat(12))
+	pos := randomPositions(20, bx, 3)
+	p := fakePool{threads: 2}
+	if _, err := (Builder{Cutoff: 0}).BuildParallel(bx, pos, p); err == nil {
+		t.Error("cutoff=0 accepted")
+	}
+	if _, err := (Builder{Cutoff: 2, Skin: -1}).BuildParallel(bx, pos, p); err == nil {
+		t.Error("negative skin accepted")
+	}
+	if _, err := (Builder{Cutoff: 7}).BuildParallel(bx, pos, p); err == nil {
+		t.Error("min-image violation accepted")
+	}
+	// Small box: brute-force fallback still correct.
+	small := box.MustNew(vec.Zero, vec.Splat(4.2))
+	spos := randomPositions(40, small, 5)
+	got, err := (Builder{Cutoff: 2, Half: true}).BuildParallel(small, spos, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := (Builder{Cutoff: 2, Half: true}).BuildBruteForce(small, spos)
+	if got.Pairs() != want.Pairs() {
+		t.Error("small-box fallback differs")
+	}
+}

@@ -1,0 +1,160 @@
+package perfmodel
+
+import (
+	"fmt"
+	"math"
+
+	"sdcmd/internal/core"
+	"sdcmd/internal/vec"
+)
+
+// Interconnect models the message fabric of a cluster — the missing
+// quantity in the paper's §V "MPI+OpenMP in multi-core cluster" future
+// work. Costs are in the same abstract units as Machine (CPair = one
+// pair interaction ≈ a few hundred ns on the 2009 testbed; the presets
+// below convert real latencies/bandwidths at 250 ns/pair).
+type Interconnect struct {
+	// Name labels the preset.
+	Name string
+	// Latency is the per-message cost.
+	Latency float64
+	// PerAtom is the per-ghost-atom transfer cost (marshalling + wire
+	// time for one position/force record).
+	PerAtom float64
+}
+
+// GigabitEthernet is a 2009-era commodity cluster fabric
+// (≈50 µs latency, ≈100 MB/s): latency ≈ 200k pair-times.
+func GigabitEthernet() Interconnect {
+	return Interconnect{Name: "gigabit-ethernet", Latency: 200000, PerAtom: 1.0}
+}
+
+// InfiniBandDDR is a 2009 HPC fabric (≈2 µs latency, ≈1.5 GB/s):
+// latency ≈ 8k pair-times.
+func InfiniBandDDR() Interconnect {
+	return Interconnect{Name: "infiniband-ddr", Latency: 8000, PerAtom: 0.07}
+}
+
+// Validate rejects nonsense.
+func (ic Interconnect) Validate() error {
+	if !(ic.Latency >= 0) || !(ic.PerAtom >= 0) {
+		return fmt.Errorf("perfmodel: bad interconnect %+v", ic)
+	}
+	return nil
+}
+
+// HybridPoint is one (ranks, threadsPerRank) prediction.
+type HybridPoint struct {
+	Ranks, ThreadsPerRank int
+	// Speedup over the single-core serial code.
+	Speedup float64
+	// CommFraction is the share of step time spent communicating.
+	CommFraction float64
+}
+
+// TimeHybrid predicts the per-step time of the hybrid engine: `ranks`
+// x-slab domains, each running SDC over `threads` workers on its own
+// node, communicating ghosts over the interconnect. The within-node
+// model reuses Machine.Time on the per-rank share of the workload (with
+// the slab's own {Y,Z} SDC geometry); the communication model charges
+// the 8 messages per step of the real internal/hybrid protocol
+// (position refresh, reverse ρ, forward F′, reverse force — two
+// neighbors each) with ghost volume from the slab surface.
+func (m Machine) TimeHybrid(ranks, threads int, in Input, ic Interconnect) (HybridPoint, error) {
+	p := HybridPoint{Ranks: ranks, ThreadsPerRank: threads}
+	if err := in.Validate(); err != nil {
+		return p, err
+	}
+	if err := ic.Validate(); err != nil {
+		return p, err
+	}
+	if ranks < 1 || threads < 1 {
+		return p, fmt.Errorf("perfmodel: ranks %d / threads %d must be >= 1", ranks, threads)
+	}
+	slabW := in.Edge / float64(ranks)
+	reach := m.ModelReach
+	if slabW < reach {
+		return p, fmt.Errorf("%w: slab width %g < reach %g", ErrInsufficientParallelism, slabW, reach)
+	}
+
+	// Per-rank compute: share of pairs/atoms, SDC over the slab's
+	// {Y,Z} axes. Build the slab decomposition for the granularity
+	// analysis.
+	atomsPerRank := float64(in.Atoms) / float64(ranks)
+	pairsPerRank := float64(in.HalfPairs) / float64(ranks)
+
+	bx, err := boxForEdge(in.Edge)
+	if err != nil {
+		return p, err
+	}
+	slab := bx
+	slab.Hi[0] = slab.Lo[0] + slabW
+	slab.Periodic[0] = false
+	var compute float64
+	if threads == 1 {
+		compute = 2*pairsPerRank*m.CPair + atomsPerRank*m.CAtom
+	} else {
+		dec, err := core.DecomposeAxes(slab, nil, []vec.Axis{vec.Y, vec.Z}, reach)
+		if err != nil {
+			return p, fmt.Errorf("%w: per-rank SDC: %v", ErrInsufficientParallelism, err)
+		}
+		spc := dec.SubdomainsPerColor()
+		colors := dec.NumColors()
+		rounds := math.Ceil(float64(spc) / float64(threads))
+		perColorPairs := pairsPerRank / float64(colors)
+		sweep := 0.0
+		for c := 0; c < colors; c++ {
+			work := perColorPairs / float64(spc) * rounds * m.CPair * m.Loc[2]
+			sweep += work*drag(m.Beta, threads) + m.barrier(threads)
+		}
+		embed := atomsPerRank * m.CAtom / float64(threads) * drag(m.Beta, threads)
+		sched := 2 * m.Sched * math.Sqrt(atomsPerRank)
+		compute = 2*sweep + sched + embed
+	}
+
+	// Communication: ghost count = atoms within `reach` of the two slab
+	// faces = 2·reach/slabW of the rank's atoms. 8 messages per step
+	// (4 phases × 2 neighbors), each moving the ghost set once.
+	ghosts := atomsPerRank * 2 * reach / slabW
+	comm := 0.0
+	if ranks > 1 {
+		comm = 8*ic.Latency + 4*ghosts*ic.PerAtom
+	}
+	total := compute + comm
+
+	serial, err := m.SerialTime(in)
+	if err != nil {
+		return p, err
+	}
+	p.Speedup = serial / total
+	p.CommFraction = comm / total
+	return p, nil
+}
+
+// BestHybridMix sweeps all factorizations ranks×threads = totalCores
+// and returns the predictions sorted as given (ranks ascending),
+// plus the index of the fastest mix. Infeasible mixes are skipped.
+func (m Machine) BestHybridMix(totalCores int, in Input, ic Interconnect) ([]HybridPoint, int, error) {
+	if totalCores < 1 {
+		return nil, 0, fmt.Errorf("perfmodel: totalCores %d must be >= 1", totalCores)
+	}
+	var out []HybridPoint
+	best := -1
+	for ranks := 1; ranks <= totalCores; ranks++ {
+		if totalCores%ranks != 0 {
+			continue
+		}
+		pt, err := m.TimeHybrid(ranks, totalCores/ranks, in, ic)
+		if err != nil {
+			continue // infeasible mix
+		}
+		out = append(out, pt)
+		if best < 0 || pt.Speedup > out[best].Speedup {
+			best = len(out) - 1
+		}
+	}
+	if len(out) == 0 {
+		return nil, 0, fmt.Errorf("perfmodel: no feasible mix for %d cores", totalCores)
+	}
+	return out, best, nil
+}

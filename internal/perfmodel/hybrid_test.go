@@ -1,0 +1,126 @@
+package perfmodel
+
+import (
+	"testing"
+
+	"sdcmd/internal/core"
+	"sdcmd/internal/lattice"
+	"sdcmd/internal/strategy"
+)
+
+func hybridInput(t *testing.T) Input {
+	t.Helper()
+	in, err := InputForCase(lattice.Large3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestInterconnectPresets(t *testing.T) {
+	for _, ic := range []Interconnect{GigabitEthernet(), InfiniBandDDR()} {
+		if err := ic.Validate(); err != nil {
+			t.Errorf("%s: %v", ic.Name, err)
+		}
+	}
+	if GigabitEthernet().Latency <= InfiniBandDDR().Latency {
+		t.Error("ethernet must have higher latency than infiniband")
+	}
+	bad := Interconnect{Latency: -1}
+	if bad.Validate() == nil {
+		t.Error("negative latency accepted")
+	}
+}
+
+func TestTimeHybridValidation(t *testing.T) {
+	m := XeonE7320()
+	in := hybridInput(t)
+	ic := InfiniBandDDR()
+	if _, err := m.TimeHybrid(0, 4, in, ic); err == nil {
+		t.Error("0 ranks accepted")
+	}
+	if _, err := m.TimeHybrid(2, 0, in, ic); err == nil {
+		t.Error("0 threads accepted")
+	}
+	if _, err := m.TimeHybrid(2, 4, Input{}, ic); err == nil {
+		t.Error("bad input accepted")
+	}
+	if _, err := m.TimeHybrid(2, 4, in, Interconnect{Latency: -1}); err == nil {
+		t.Error("bad interconnect accepted")
+	}
+	// Too many ranks: slab thinner than reach.
+	if _, err := m.TimeHybrid(1000, 1, in, ic); err == nil {
+		t.Error("over-decomposition accepted")
+	}
+}
+
+func TestHybridSingleRankMatchesSharedMemory(t *testing.T) {
+	// ranks=1 has zero comm; its speedup should be close to the pure
+	// SDC prediction at the same width (the {Y,Z} slab coloring differs
+	// slightly from the {X,Y} one, so allow a modest gap).
+	m := XeonE7320()
+	in := hybridInput(t)
+	pt, err := m.TimeHybrid(1, 16, in, InfiniBandDDR())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.CommFraction != 0 {
+		t.Errorf("single rank comm fraction = %g", pt.CommFraction)
+	}
+	shared, err := m.Speedup(strategy.SDC, core.Dim2, 16, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Speedup < 0.7*shared || pt.Speedup > 1.3*shared {
+		t.Errorf("1-rank hybrid %g vs shared-memory %g", pt.Speedup, shared)
+	}
+}
+
+func TestHybridCommCostsOrdering(t *testing.T) {
+	// Same mix: InfiniBand beats gigabit Ethernet; more ranks at fixed
+	// total cores cost more communication.
+	m := XeonE7320()
+	in := hybridInput(t)
+	ib, err := m.TimeHybrid(4, 4, in, InfiniBandDDR())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eth, err := m.TimeHybrid(4, 4, in, GigabitEthernet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ib.Speedup <= eth.Speedup {
+		t.Errorf("InfiniBand %g not faster than Ethernet %g", ib.Speedup, eth.Speedup)
+	}
+	if eth.CommFraction <= ib.CommFraction {
+		t.Errorf("Ethernet comm fraction %g not above InfiniBand %g", eth.CommFraction, ib.CommFraction)
+	}
+}
+
+func TestBestHybridMix(t *testing.T) {
+	m := XeonE7320()
+	in := hybridInput(t)
+	pts, best, err := m.BestHybridMix(16, in, InfiniBandDDR())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) < 3 {
+		t.Fatalf("only %d feasible mixes", len(pts))
+	}
+	for _, pt := range pts {
+		if pt.Ranks*pt.ThreadsPerRank != 16 {
+			t.Errorf("mix %dx%d != 16 cores", pt.Ranks, pt.ThreadsPerRank)
+		}
+		if pt.Speedup > pts[best].Speedup {
+			t.Error("best index wrong")
+		}
+	}
+	// On a fast fabric at 16 cores, some hybrid or pure mix must beat
+	// 8× (sanity on absolute scale).
+	if pts[best].Speedup < 8 {
+		t.Errorf("best 16-core mix only %gx", pts[best].Speedup)
+	}
+	if _, _, err := m.BestHybridMix(0, in, InfiniBandDDR()); err == nil {
+		t.Error("0 cores accepted")
+	}
+}

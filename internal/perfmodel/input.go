@@ -1,0 +1,53 @@
+package perfmodel
+
+import (
+	"fmt"
+
+	"sdcmd/internal/box"
+	"sdcmd/internal/lattice"
+	"sdcmd/internal/neighbor"
+	"sdcmd/internal/vec"
+)
+
+// boxForEdge builds the cubic periodic cell of one paper case.
+func boxForEdge(edge float64) (box.Box, error) {
+	return box.New(vec.Zero, vec.Splat(edge))
+}
+
+// MeasurePairsPerAtom builds a real neighbor list on a scaled bcc-Fe
+// replica (same density as every paper case) and returns the measured
+// half-list pairs per atom — the workload statistic the model scales to
+// the full case sizes. cells >= 4 keeps the sample representative;
+// cutoff/skin should match the simulator's.
+func MeasurePairsPerAtom(cells int, cutoff, skin float64) (float64, error) {
+	if cells < 4 {
+		return 0, fmt.Errorf("perfmodel: need >= 4 cells for a representative sample, got %d", cells)
+	}
+	cfg, err := lattice.ScaledCase(cells)
+	if err != nil {
+		return 0, err
+	}
+	list, err := neighbor.Builder{Cutoff: cutoff, Skin: skin, Half: true}.Build(cfg.Box, cfg.Pos)
+	if err != nil {
+		return 0, err
+	}
+	return list.Stats().MeanLen, nil
+}
+
+// InputForCase scales the measured pairs-per-atom statistic to one of
+// the paper's four cases.
+func InputForCase(c lattice.Case, pairsPerAtom float64) (Input, error) {
+	n := c.CellsPerSide()
+	if n == 0 {
+		return Input{}, fmt.Errorf("perfmodel: unknown case %v", c)
+	}
+	if !(pairsPerAtom > 0) {
+		return Input{}, fmt.Errorf("perfmodel: pairs per atom %g must be positive", pairsPerAtom)
+	}
+	atoms := c.Atoms()
+	return Input{
+		Atoms:     atoms,
+		HalfPairs: int(pairsPerAtom * float64(atoms)),
+		Edge:      float64(n) * lattice.FeLatticeConstant,
+	}, nil
+}

@@ -1,0 +1,144 @@
+package perfmodel
+
+import (
+	"fmt"
+
+	"sdcmd/internal/core"
+	"sdcmd/internal/strategy"
+)
+
+// Topology describes the socket layout of a NUMA machine — the paper's
+// first future-work direction (§V: "a detailed study of SDC method on
+// NUMA memory architecture … multi-core and multi-socket shared memory
+// system"). The testbed itself is 4 sockets × 4 cores.
+type Topology struct {
+	// Sockets and CoresPerSocket define the layout.
+	Sockets, CoresPerSocket int
+	// RemotePenalty is the extra cost multiplier of a remote-socket
+	// memory access relative to a local one (≈ 1.4-2.2 on 2009-era
+	// FSB/early-QPI four-socket machines; 0.65 here means remote
+	// accesses cost 1.65× local).
+	RemotePenalty float64
+	// HaloFraction is the share of a thread's traffic that touches
+	// another thread's data when the data is distributed NUMA-aware
+	// (the subdomain surface/volume effect).
+	HaloFraction float64
+}
+
+// XeonE7320Topology returns the paper testbed's layout.
+func XeonE7320Topology() Topology {
+	return Topology{Sockets: 4, CoresPerSocket: 4, RemotePenalty: 0.65, HaloFraction: 0.18}
+}
+
+// Validate checks the topology.
+func (t Topology) Validate() error {
+	if t.Sockets < 1 || t.CoresPerSocket < 1 {
+		return fmt.Errorf("perfmodel: bad topology %+v", t)
+	}
+	if t.RemotePenalty < 0 || t.HaloFraction < 0 || t.HaloFraction > 1 {
+		return fmt.Errorf("perfmodel: bad NUMA penalties %+v", t)
+	}
+	return nil
+}
+
+// Cores returns the machine's core count.
+func (t Topology) Cores() int { return t.Sockets * t.CoresPerSocket }
+
+// Placement selects how per-atom data is distributed over sockets.
+type Placement int
+
+// Placements.
+const (
+	// NaivePlacement: all reduction arrays are first-touched by the
+	// master thread and live on socket 0; every off-socket thread pays
+	// the remote penalty on all its traffic. This is what an
+	// unmodified OpenMP port does.
+	NaivePlacement Placement = iota
+	// NUMAAwarePlacement: arrays are first-touched by the thread that
+	// owns them (parallel initialization in subdomain order); only the
+	// halo fraction of the traffic crosses sockets.
+	NUMAAwarePlacement
+)
+
+// String names the placement.
+func (p Placement) String() string {
+	switch p {
+	case NaivePlacement:
+		return "naive"
+	case NUMAAwarePlacement:
+		return "numa-aware"
+	}
+	return fmt.Sprintf("Placement(%d)", int(p))
+}
+
+// remoteFraction estimates the share of memory traffic that crosses a
+// socket boundary for P compactly-placed threads.
+func (t Topology) remoteFraction(p int, placement Placement) float64 {
+	if p <= t.CoresPerSocket {
+		return 0 // one socket: no remote traffic either way
+	}
+	if p > t.Cores() {
+		p = t.Cores()
+	}
+	switch placement {
+	case NaivePlacement:
+		// Threads beyond socket 0 access socket-0-resident data.
+		offSocket := p - t.CoresPerSocket
+		return float64(offSocket) / float64(p)
+	case NUMAAwarePlacement:
+		// Only halo traffic crosses, and only the off-socket share of
+		// it lands remote.
+		offSocket := p - t.CoresPerSocket
+		return t.HaloFraction * float64(offSocket) / float64(p)
+	}
+	return 0
+}
+
+// NUMADrag returns the multiplicative slowdown of the memory-bound part
+// of a P-thread run under the placement.
+func (t Topology) NUMADrag(p int, placement Placement) float64 {
+	return 1 + t.RemotePenalty*t.remoteFraction(p, placement)
+}
+
+// TimeNUMA is Machine.Time with the NUMA placement drag applied to the
+// memory-bound portion of the execution.
+func (m Machine) TimeNUMA(k strategy.Kind, dim core.Dim, threads int, in Input, topo Topology, placement Placement) (float64, error) {
+	if err := topo.Validate(); err != nil {
+		return 0, err
+	}
+	base, err := m.Time(k, dim, threads, in)
+	if err != nil {
+		return 0, err
+	}
+	if k == strategy.Serial {
+		return base, nil
+	}
+	return base * topo.NUMADrag(threads, placement), nil
+}
+
+// SpeedupNUMA returns serial time over TimeNUMA.
+func (m Machine) SpeedupNUMA(k strategy.Kind, dim core.Dim, threads int, in Input, topo Topology, placement Placement) (float64, error) {
+	ser, err := m.SerialTime(in)
+	if err != nil {
+		return 0, err
+	}
+	par, err := m.TimeNUMA(k, dim, threads, in, topo, placement)
+	if err != nil {
+		return 0, err
+	}
+	return ser / par, nil
+}
+
+// NUMAImprovement predicts the relative gain of NUMA-aware placement
+// over naive placement at the given width: (T_naive − T_aware)/T_naive.
+func (m Machine) NUMAImprovement(k strategy.Kind, dim core.Dim, threads int, in Input, topo Topology) (float64, error) {
+	naive, err := m.TimeNUMA(k, dim, threads, in, topo, NaivePlacement)
+	if err != nil {
+		return 0, err
+	}
+	aware, err := m.TimeNUMA(k, dim, threads, in, topo, NUMAAwarePlacement)
+	if err != nil {
+		return 0, err
+	}
+	return (naive - aware) / naive, nil
+}

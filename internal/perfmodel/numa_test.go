@@ -1,0 +1,165 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+
+	"sdcmd/internal/core"
+	"sdcmd/internal/lattice"
+	"sdcmd/internal/strategy"
+)
+
+func TestTopologyValidation(t *testing.T) {
+	bad := []Topology{
+		{Sockets: 0, CoresPerSocket: 4},
+		{Sockets: 4, CoresPerSocket: 0},
+		{Sockets: 4, CoresPerSocket: 4, RemotePenalty: -1},
+		{Sockets: 4, CoresPerSocket: 4, HaloFraction: 1.5},
+	}
+	for i, topo := range bad {
+		if topo.Validate() == nil {
+			t.Errorf("topology %d accepted", i)
+		}
+	}
+	good := XeonE7320Topology()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if good.Cores() != 16 {
+		t.Errorf("testbed cores = %d", good.Cores())
+	}
+}
+
+func TestPlacementStrings(t *testing.T) {
+	if NaivePlacement.String() != "naive" || NUMAAwarePlacement.String() != "numa-aware" {
+		t.Error("placement strings wrong")
+	}
+	if Placement(7).String() != "Placement(7)" {
+		t.Error("unknown placement string wrong")
+	}
+}
+
+func TestSingleSocketHasNoNUMAEffect(t *testing.T) {
+	topo := XeonE7320Topology()
+	for p := 1; p <= topo.CoresPerSocket; p++ {
+		if d := topo.NUMADrag(p, NaivePlacement); d != 1 {
+			t.Errorf("naive drag at %d threads = %g, want 1", p, d)
+		}
+		if d := topo.NUMADrag(p, NUMAAwarePlacement); d != 1 {
+			t.Errorf("aware drag at %d threads = %g, want 1", p, d)
+		}
+	}
+}
+
+func TestNUMAAwareBeatsNaiveOffSocket(t *testing.T) {
+	topo := XeonE7320Topology()
+	for _, p := range []int{5, 8, 12, 16} {
+		naive := topo.NUMADrag(p, NaivePlacement)
+		aware := topo.NUMADrag(p, NUMAAwarePlacement)
+		if naive <= 1 || aware <= 1 {
+			t.Errorf("at %d threads drags must exceed 1 (naive %g, aware %g)", p, naive, aware)
+		}
+		if aware >= naive {
+			t.Errorf("at %d threads aware %g >= naive %g", p, aware, naive)
+		}
+	}
+	// Naive drag grows with the off-socket share.
+	if topo.NUMADrag(16, NaivePlacement) <= topo.NUMADrag(8, NaivePlacement) {
+		t.Error("naive drag must grow with thread count")
+	}
+	// Overflow beyond physical cores is clamped.
+	if topo.NUMADrag(99, NaivePlacement) != topo.NUMADrag(16, NaivePlacement) {
+		t.Error("drag beyond core count must clamp")
+	}
+}
+
+func TestTimeNUMA(t *testing.T) {
+	m := XeonE7320()
+	topo := XeonE7320Topology()
+	ppa := 7.0
+	in, err := InputForCase(lattice.Large3, ppa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := m.Time(strategy.SDC, core.Dim2, 16, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := m.TimeNUMA(strategy.SDC, core.Dim2, 16, in, topo, NaivePlacement)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aware, err := m.TimeNUMA(strategy.SDC, core.Dim2, 16, in, topo, NUMAAwarePlacement)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(naive > aware && aware > base) {
+		t.Errorf("ordering violated: base %g, aware %g, naive %g", base, aware, naive)
+	}
+	// Serial is untouched by placement.
+	s1, _ := m.TimeNUMA(strategy.Serial, core.Dim2, 1, in, topo, NaivePlacement)
+	s2, _ := m.SerialTime(in)
+	if s1 != s2 {
+		t.Error("serial time must ignore NUMA placement")
+	}
+	// Bad topology rejected.
+	if _, err := m.TimeNUMA(strategy.SDC, core.Dim2, 8, in, Topology{}, NaivePlacement); err == nil {
+		t.Error("bad topology accepted")
+	}
+}
+
+func TestNUMAImprovementGrowsWithThreads(t *testing.T) {
+	m := XeonE7320()
+	topo := XeonE7320Topology()
+	in, err := InputForCase(lattice.Large3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for _, p := range []int{4, 8, 12, 16} {
+		imp, err := m.NUMAImprovement(strategy.SDC, core.Dim2, p, in, topo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p == 4 && math.Abs(imp) > 1e-12 {
+			t.Errorf("on-socket improvement = %g, want 0", imp)
+		}
+		if imp < prev {
+			t.Errorf("improvement not monotone at %d threads: %g < %g", p, imp, prev)
+		}
+		prev = imp
+	}
+	// At 16 threads the predicted gain is substantial (tens of
+	// percent), the quantitative motivation for the paper's future
+	// work.
+	if prev < 0.15 || prev > 0.45 {
+		t.Errorf("improvement @16 = %g, want a substantial fraction", prev)
+	}
+}
+
+func TestSpeedupNUMA(t *testing.T) {
+	m := XeonE7320()
+	topo := XeonE7320Topology()
+	in, err := InputForCase(lattice.Large3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sN, err := m.SpeedupNUMA(strategy.SDC, core.Dim2, 16, in, topo, NaivePlacement)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sA, err := m.SpeedupNUMA(strategy.SDC, core.Dim2, 16, in, topo, NUMAAwarePlacement)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := m.Speedup(strategy.SDC, core.Dim2, 16, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(sN < sA && sA < plain) {
+		t.Errorf("speedup ordering violated: naive %g, aware %g, plain %g", sN, sA, plain)
+	}
+	if _, err := m.SpeedupNUMA(strategy.SDC, core.Dim2, 16, Input{}, topo, NaivePlacement); err == nil {
+		t.Error("bad input accepted")
+	}
+}

@@ -1,0 +1,203 @@
+package potential
+
+import (
+	"fmt"
+	"math"
+)
+
+// AlloyEAM is a multi-species embedded-atom potential — the paper's
+// intro scopes EAM to "metals and alloys", and a real MD release must
+// handle the alloy case. Species are dense indices 0..Species()-1.
+//
+// Implementations must be pure and safe for concurrent use.
+type AlloyEAM interface {
+	// Name identifies the parameterization.
+	Name() string
+	// Species returns the species count.
+	Species() int
+	// Cutoff is the global interaction cutoff.
+	Cutoff() float64
+	// PairEnergy returns V_{si,sj}(r) and dV/dr; it must be symmetric
+	// under species exchange.
+	PairEnergy(si, sj int, r float64) (v, dv float64)
+	// DensityOf returns the electron density an atom of species sDonor
+	// donates at distance r, and its derivative.
+	DensityOf(sDonor int, r float64) (phi, dphi float64)
+	// EmbedOf returns F_s(ρ) and dF/dρ for a host atom of species s.
+	EmbedOf(s int, rho float64) (f, df float64)
+}
+
+// SingleAsAlloy lifts a single-species EAM to the alloy interface.
+type SingleAsAlloy struct {
+	E EAM
+}
+
+// Name implements AlloyEAM.
+func (a SingleAsAlloy) Name() string { return "alloy:" + a.E.Name() }
+
+// Species implements AlloyEAM.
+func (a SingleAsAlloy) Species() int { return 1 }
+
+// Cutoff implements AlloyEAM.
+func (a SingleAsAlloy) Cutoff() float64 { return a.E.Cutoff() }
+
+// PairEnergy implements AlloyEAM.
+func (a SingleAsAlloy) PairEnergy(_, _ int, r float64) (float64, float64) { return a.E.Energy(r) }
+
+// DensityOf implements AlloyEAM.
+func (a SingleAsAlloy) DensityOf(_ int, r float64) (float64, float64) { return a.E.Density(r) }
+
+// EmbedOf implements AlloyEAM.
+func (a SingleAsAlloy) EmbedOf(_ int, rho float64) (float64, float64) { return a.E.Embed(rho) }
+
+var _ AlloyEAM = SingleAsAlloy{}
+
+// SpeciesParams parameterizes one species of a binary analytic alloy:
+// the same functional forms as FeParams (Morse pair, exponential
+// density, FS or Johnson embedding).
+type SpeciesParams struct {
+	// Element is a label ("Fe", "Cr", ...).
+	Element string
+	// Re, D, Alpha shape the like-pair Morse term.
+	Re, D, Alpha float64
+	// Fe0, Beta shape the density donation.
+	Fe0, Beta float64
+	// A is the FS embedding scale; if JohnsonEmbed, use Ec/N/RhoE.
+	A            float64
+	JohnsonEmbed bool
+	Ec, N, RhoE  float64
+}
+
+// validate checks one species block.
+func (p SpeciesParams) validate() error {
+	if !(p.Re > 0) || !(p.D > 0) || !(p.Alpha > 0) || !(p.Fe0 > 0) || !(p.Beta > 0) {
+		return fmt.Errorf("%w: species %q needs positive Re/D/Alpha/Fe0/Beta", ErrBadParam, p.Element)
+	}
+	if p.JohnsonEmbed {
+		if !(p.Ec > 0) || !(p.N > 0) || !(p.RhoE > 0) {
+			return fmt.Errorf("%w: species %q Johnson embed params", ErrBadParam, p.Element)
+		}
+	} else if !(p.A > 0) {
+		return fmt.Errorf("%w: species %q FS embedding scale", ErrBadParam, p.Element)
+	}
+	return nil
+}
+
+// BinaryAlloy is a two-species analytic EAM. Cross pair interactions
+// use Lorentz-Berthelot-style mixing: D_AB = √(D_A·D_B),
+// α_AB = (α_A+α_B)/2, Re_AB = (Re_A+Re_B)/2.
+type BinaryAlloy struct {
+	a, b   SpeciesParams
+	smooth CutoffSmoother
+	cut    float64
+	// pair[si][sj] Morse parameters after mixing.
+	pairD, pairAlpha, pairRe [2][2]float64
+}
+
+// NewBinaryAlloy validates and builds the alloy with the given cutoff
+// smoothing window.
+func NewBinaryAlloy(a, b SpeciesParams, smoothOn, cut float64) (*BinaryAlloy, error) {
+	if err := a.validate(); err != nil {
+		return nil, err
+	}
+	if err := b.validate(); err != nil {
+		return nil, err
+	}
+	sm, err := NewCutoffSmoother(smoothOn, cut)
+	if err != nil {
+		return nil, err
+	}
+	al := &BinaryAlloy{a: a, b: b, smooth: sm, cut: cut}
+	sp := [2]SpeciesParams{a, b}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			al.pairD[i][j] = math.Sqrt(sp[i].D * sp[j].D)
+			al.pairAlpha[i][j] = (sp[i].Alpha + sp[j].Alpha) / 2
+			al.pairRe[i][j] = (sp[i].Re + sp[j].Re) / 2
+		}
+	}
+	return al, nil
+}
+
+// FeCrParams returns a plausible binary parameter set: iron plus a
+// slightly stiffer, smaller "chromium-like" partner. Like the Fe
+// potential itself, it is a structural stand-in with the right
+// functional anatomy, not a fitted literature potential.
+func FeCrParams() (fe, cr SpeciesParams) {
+	fe = SpeciesParams{Element: "Fe", Re: 2.4824, D: 0.40, Alpha: 1.80, Fe0: 1.0, Beta: 3.5,
+		JohnsonEmbed: true, Ec: 4.28, N: 0.5, RhoE: 8.0}
+	cr = SpeciesParams{Element: "Cr", Re: 2.4980, D: 0.44, Alpha: 1.90, Fe0: 1.1, Beta: 3.6,
+		JohnsonEmbed: true, Ec: 4.10, N: 0.5, RhoE: 8.5}
+	return fe, cr
+}
+
+// DefaultFeCr builds the standard demo alloy.
+func DefaultFeCr() *BinaryAlloy {
+	fe, cr := FeCrParams()
+	al, err := NewBinaryAlloy(fe, cr, 3.0, 3.5)
+	if err != nil {
+		panic(err) // unreachable: constants are valid
+	}
+	return al
+}
+
+// Name implements AlloyEAM.
+func (al *BinaryAlloy) Name() string {
+	return fmt.Sprintf("eam/alloy:%s-%s", al.a.Element, al.b.Element)
+}
+
+// Species implements AlloyEAM.
+func (al *BinaryAlloy) Species() int { return 2 }
+
+// Cutoff implements AlloyEAM.
+func (al *BinaryAlloy) Cutoff() float64 { return al.cut }
+
+// PairEnergy implements AlloyEAM.
+func (al *BinaryAlloy) PairEnergy(si, sj int, r float64) (float64, float64) {
+	if r >= al.cut || r <= 0 {
+		return 0, 0
+	}
+	d, alpha, re := al.pairD[si][sj], al.pairAlpha[si][sj], al.pairRe[si][sj]
+	x := math.Exp(-alpha * (r - re))
+	v := d * (x*x - 2*x)
+	dv := d * alpha * (-2*x*x + 2*x)
+	return al.smooth.Apply(r, v, dv)
+}
+
+// DensityOf implements AlloyEAM.
+func (al *BinaryAlloy) DensityOf(sDonor int, r float64) (float64, float64) {
+	if r >= al.cut || r <= 0 {
+		return 0, 0
+	}
+	p := al.species(sDonor)
+	phi := p.Fe0 * math.Exp(-p.Beta*(r/p.Re-1))
+	dphi := -p.Beta / p.Re * phi
+	return al.smooth.Apply(r, phi, dphi)
+}
+
+// EmbedOf implements AlloyEAM.
+func (al *BinaryAlloy) EmbedOf(s int, rho float64) (float64, float64) {
+	if rho <= 0 {
+		return 0, 0
+	}
+	p := al.species(s)
+	if p.JohnsonEmbed {
+		x := rho / p.RhoE
+		xn := math.Pow(x, p.N)
+		lnx := math.Log(x)
+		f := -p.Ec * (1 - p.N*lnx) * xn
+		df := -p.Ec * (-p.N * p.N * math.Pow(x, p.N-1) * lnx) / p.RhoE
+		return f, df
+	}
+	sq := math.Sqrt(rho)
+	return -p.A * sq, -p.A / (2 * sq)
+}
+
+func (al *BinaryAlloy) species(s int) SpeciesParams {
+	if s == 0 {
+		return al.a
+	}
+	return al.b
+}
+
+var _ AlloyEAM = (*BinaryAlloy)(nil)

@@ -1,0 +1,75 @@
+package potential
+
+import (
+	"fmt"
+	"math"
+)
+
+// LennardJones is the classic 12-6 pair potential
+//
+//	V(r) = 4ε[(σ/r)¹² − (σ/r)⁶]
+//
+// with the same C¹ cutoff smoothing as the EAM terms. It stands in for
+// the "pair-wise potential method" the paper uses as the low-cost
+// comparison point for EAM's workload (§I), and exercises the
+// pure-pair path of the force engine via PairOnly.
+type LennardJones struct {
+	// Epsilon is the well depth ε (energy units).
+	Epsilon float64
+	// Sigma is the zero-crossing distance σ (length units).
+	Sigma float64
+	// SmoothOn and Cut bound the smoothing region.
+	SmoothOn, Cut float64
+
+	smooth CutoffSmoother
+}
+
+// NewLennardJones validates and builds an LJ potential.
+func NewLennardJones(eps, sigma, smoothOn, cut float64) (*LennardJones, error) {
+	if !(eps > 0) || !(sigma > 0) {
+		return nil, fmt.Errorf("%w: LJ eps=%g sigma=%g must be positive", ErrBadParam, eps, sigma)
+	}
+	sm, err := NewCutoffSmoother(smoothOn, cut)
+	if err != nil {
+		return nil, err
+	}
+	return &LennardJones{Epsilon: eps, Sigma: sigma, SmoothOn: smoothOn, Cut: cut, smooth: sm}, nil
+}
+
+// DefaultLJ returns a reduced-units LJ (ε=σ=1) with the conventional
+// 2.5σ cutoff, tapered from 2.0σ.
+func DefaultLJ() *LennardJones {
+	lj, err := NewLennardJones(1, 1, 2.0, 2.5)
+	if err != nil {
+		panic(err) // unreachable: constants are valid
+	}
+	return lj
+}
+
+// Name implements Pair.
+func (l *LennardJones) Name() string { return "lj/12-6" }
+
+// Cutoff implements Pair.
+func (l *LennardJones) Cutoff() float64 { return l.Cut }
+
+// Energy returns smoothed V(r) and dV/dr.
+func (l *LennardJones) Energy(r float64) (float64, float64) {
+	if r >= l.Cut || r <= 0 {
+		return 0, 0
+	}
+	sr := l.Sigma / r
+	sr2 := sr * sr
+	sr6 := sr2 * sr2 * sr2
+	sr12 := sr6 * sr6
+	v := 4 * l.Epsilon * (sr12 - sr6)
+	dv := 4 * l.Epsilon * (-12*sr12 + 6*sr6) / r
+	return l.smooth.Apply(r, v, dv)
+}
+
+// WellDepth returns the unsmoothed minimum energy −ε at r = 2^{1/6}σ.
+func (l *LennardJones) WellDepth() float64 { return -l.Epsilon }
+
+// RMin returns the unsmoothed minimum location 2^{1/6}σ.
+func (l *LennardJones) RMin() float64 { return math.Pow(2, 1.0/6.0) * l.Sigma }
+
+var _ Pair = (*LennardJones)(nil)

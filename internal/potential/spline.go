@@ -1,0 +1,108 @@
+package potential
+
+import (
+	"fmt"
+	"math"
+)
+
+// Spline is a natural cubic spline on a uniform grid, the interpolation
+// real EAM implementations (XMD, LAMMPS setfl) use for their tabulated
+// V(r), φ(r) and F(ρ). Evaluation returns both the value and the first
+// derivative, since the force loops need dV/dr and dφ/dr and the
+// embedding phase needs dF/dρ.
+type Spline struct {
+	x0, dx float64
+	y      []float64 // knot values
+	y2     []float64 // second derivatives at knots
+}
+
+// NewUniformSpline fits a natural cubic spline through y[i] at
+// x0 + i*dx. It needs at least two knots and positive spacing.
+func NewUniformSpline(x0, dx float64, y []float64) (*Spline, error) {
+	n := len(y)
+	if n < 2 {
+		return nil, fmt.Errorf("%w: spline needs >= 2 knots, got %d", ErrBadParam, n)
+	}
+	if !(dx > 0) {
+		return nil, fmt.Errorf("%w: spline spacing %g must be positive", ErrBadParam, dx)
+	}
+	yc := make([]float64, n)
+	copy(yc, y)
+	s := &Spline{x0: x0, dx: dx, y: yc, y2: make([]float64, n)}
+	if n == 2 {
+		return s, nil // linear; second derivatives stay zero
+	}
+	// Solve the tridiagonal system for the natural spline second
+	// derivatives (Numerical-Recipes style forward sweep). Uniform
+	// spacing makes every sig = 1/2.
+	u := make([]float64, n-1)
+	for i := 1; i < n-1; i++ {
+		p := 0.5*s.y2[i-1] + 2
+		s.y2[i] = -0.5 / p
+		u[i] = (y[i+1] - 2*y[i] + y[i-1]) / dx
+		u[i] = (3*u[i]/dx - 0.5*u[i-1]) / p
+	}
+	for i := n - 2; i >= 0; i-- {
+		s.y2[i] = s.y2[i]*s.y2[i+1] + u[i]
+	}
+	return s, nil
+}
+
+// Knots returns the number of knots.
+func (s *Spline) Knots() int { return len(s.y) }
+
+// Domain returns [min, max] of the fitted grid.
+func (s *Spline) Domain() (lo, hi float64) {
+	return s.x0, s.x0 + float64(len(s.y)-1)*s.dx
+}
+
+// Eval returns the spline value and first derivative at x. Outside the
+// fitted domain the spline extrapolates linearly from the boundary
+// (value and slope continuous), which keeps forces finite if an atom
+// pair momentarily exceeds the table range.
+func (s *Spline) Eval(x float64) (y, dy float64) {
+	n := len(s.y)
+	lo, hi := s.Domain()
+	switch {
+	case x <= lo:
+		_, d := s.evalIn(0, lo)
+		return s.y[0] + d*(x-lo), d
+	case x >= hi:
+		_, d := s.evalIn(n-2, hi)
+		return s.y[n-1] + d*(x-hi), d
+	}
+	i := int((x - s.x0) / s.dx)
+	if i > n-2 {
+		i = n - 2
+	}
+	return s.evalIn(i, x)
+}
+
+// evalIn evaluates on knot interval i at x (assumed inside).
+func (s *Spline) evalIn(i int, x float64) (y, dy float64) {
+	xa := s.x0 + float64(i)*s.dx
+	a := (xa + s.dx - x) / s.dx
+	b := (x - xa) / s.dx
+	h := s.dx
+	y = a*s.y[i] + b*s.y[i+1] +
+		((a*a*a-a)*s.y2[i]+(b*b*b-b)*s.y2[i+1])*h*h/6
+	dy = (s.y[i+1]-s.y[i])/h +
+		(-(3*a*a-1)*s.y2[i]+(3*b*b-1)*s.y2[i+1])*h/6
+	return y, dy
+}
+
+// MaxInterpError samples f on a refined grid and returns the largest
+// |spline − f|; a table-validation helper.
+func (s *Spline) MaxInterpError(f func(float64) float64, samplesPerInterval int) float64 {
+	lo, hi := s.Domain()
+	n := (s.Knots() - 1) * samplesPerInterval
+	worst := 0.0
+	for i := 0; i <= n; i++ {
+		x := lo + (hi-lo)*float64(i)/float64(n)
+		y, _ := s.Eval(x)
+		if e := math.Abs(y - f(x)); e > worst {
+			worst = e
+		}
+	}
+	return worst
+}

@@ -1,0 +1,230 @@
+package potential
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSplineValidation(t *testing.T) {
+	if _, err := NewUniformSpline(0, 1, []float64{1}); err == nil {
+		t.Error("single knot accepted")
+	}
+	if _, err := NewUniformSpline(0, 0, []float64{1, 2}); err == nil {
+		t.Error("zero spacing accepted")
+	}
+	if _, err := NewUniformSpline(0, -1, []float64{1, 2}); err == nil {
+		t.Error("negative spacing accepted")
+	}
+}
+
+func TestSplineInterpolatesKnots(t *testing.T) {
+	y := []float64{1, 4, 9, 16, 25, 36}
+	s, err := NewUniformSpline(1, 1, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range y {
+		got, _ := s.Eval(1 + float64(i))
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("knot %d: %g, want %g", i, got, want)
+		}
+	}
+	if s.Knots() != 6 {
+		t.Errorf("Knots = %d", s.Knots())
+	}
+	lo, hi := s.Domain()
+	if lo != 1 || hi != 6 {
+		t.Errorf("Domain = [%g, %g]", lo, hi)
+	}
+}
+
+func TestSplineTwoKnotsIsLinear(t *testing.T) {
+	s, err := NewUniformSpline(0, 2, []float64{1, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, dy := s.Eval(1)
+	if math.Abs(y-3) > 1e-12 || math.Abs(dy-2) > 1e-12 {
+		t.Errorf("linear spline Eval(1) = %g, %g", y, dy)
+	}
+}
+
+func TestSplineReproducesSmoothFunction(t *testing.T) {
+	f := func(x float64) float64 { return math.Sin(x) }
+	n := 60
+	dx := math.Pi / float64(n-1)
+	y := make([]float64, n)
+	for i := range y {
+		y[i] = f(float64(i) * dx)
+	}
+	s, err := NewUniformSpline(0, dx, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := s.MaxInterpError(f, 7); e > 1e-5 {
+		t.Errorf("sin interp error %g > 1e-5", e)
+	}
+	// Derivative accuracy away from the (natural) boundaries.
+	for x := 0.5; x < math.Pi-0.5; x += 0.1 {
+		_, dy := s.Eval(x)
+		if math.Abs(dy-math.Cos(x)) > 1e-3 {
+			t.Errorf("d/dx sin at %g: %g vs %g", x, dy, math.Cos(x))
+		}
+	}
+}
+
+func TestSplineExtrapolatesLinearly(t *testing.T) {
+	y := []float64{0, 1, 4, 9}
+	s, _ := NewUniformSpline(0, 1, y)
+	// Outside the domain the value continues with the boundary slope.
+	yl1, dl := s.Eval(-1)
+	yl2, dl2 := s.Eval(-2)
+	if dl != dl2 {
+		t.Error("left extrapolation slope not constant")
+	}
+	if math.Abs((yl1-yl2)-dl) > 1e-12 {
+		t.Error("left extrapolation not linear")
+	}
+	yr1, dr := s.Eval(4)
+	yr2, dr2 := s.Eval(5)
+	if dr != dr2 || math.Abs((yr2-yr1)-dr) > 1e-12 {
+		t.Error("right extrapolation not linear")
+	}
+}
+
+func TestSplineDerivativeContinuity(t *testing.T) {
+	y := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	s, _ := NewUniformSpline(0, 1, y)
+	// C1 across every knot.
+	for i := 1; i < len(y)-1; i++ {
+		x := float64(i)
+		_, dl := s.Eval(x - 1e-9)
+		_, dr := s.Eval(x + 1e-9)
+		if math.Abs(dl-dr) > 1e-6 {
+			t.Errorf("derivative jump at knot %d: %g vs %g", i, dl, dr)
+		}
+	}
+}
+
+func TestTabulateValidation(t *testing.T) {
+	e := DefaultFe()
+	if _, err := Tabulate(e, 3, 100, 20); err == nil {
+		t.Error("nr=3 accepted")
+	}
+	if _, err := Tabulate(e, 100, 3, 20); err == nil {
+		t.Error("nrho=3 accepted")
+	}
+	if _, err := Tabulate(e, 100, 100, 0); err == nil {
+		t.Error("rhoMax=0 accepted")
+	}
+}
+
+func TestTabulatedMatchesAnalytic(t *testing.T) {
+	e := DefaultFe()
+	tab, err := Tabulate(e, 2000, 2000, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Cutoff() != e.Cutoff() {
+		t.Error("cutoff mismatch")
+	}
+	if !strings.HasPrefix(tab.Name(), "tab:") {
+		t.Errorf("name = %q", tab.Name())
+	}
+	for r := 1.8; r < e.Cutoff(); r += 0.013 {
+		va, da := e.Energy(r)
+		vt, dt := tab.Energy(r)
+		if math.Abs(va-vt) > 1e-6 || math.Abs(da-dt) > 1e-3 {
+			t.Errorf("pair at %g: (%g,%g) vs (%g,%g)", r, va, da, vt, dt)
+		}
+		pa, dpa := e.Density(r)
+		pt, dpt := tab.Density(r)
+		if math.Abs(pa-pt) > 1e-6 || math.Abs(dpa-dpt) > 1e-3 {
+			t.Errorf("density at %g: (%g,%g) vs (%g,%g)", r, pa, dpa, pt, dpt)
+		}
+	}
+	for rho := 0.5; rho < 28.0; rho += 0.37 {
+		fa, dfa := e.Embed(rho)
+		ft, dft := tab.Embed(rho)
+		if math.Abs(fa-ft) > 1e-5 || math.Abs(dfa-dft) > 1e-3 {
+			t.Errorf("embed at %g: (%g,%g) vs (%g,%g)", rho, fa, dfa, ft, dft)
+		}
+	}
+}
+
+func TestTabulatedBeyondCutoff(t *testing.T) {
+	tab, _ := Tabulate(DefaultFe(), 100, 100, 20)
+	if v, dv := tab.Energy(tab.Cutoff() + 0.5); v != 0 || dv != 0 {
+		t.Error("tabulated pair beyond cutoff must vanish")
+	}
+	if p, dp := tab.Density(tab.Cutoff() + 0.5); p != 0 || dp != 0 {
+		t.Error("tabulated density beyond cutoff must vanish")
+	}
+	if f, df := tab.Embed(-1); f != 0 || df != 0 {
+		t.Error("tabulated embed at negative rho must vanish")
+	}
+	if tab.RhoMax() != 20 {
+		t.Errorf("RhoMax = %g", tab.RhoMax())
+	}
+}
+
+func TestSetflRoundTrip(t *testing.T) {
+	tab, err := Tabulate(DefaultFe(), 800, 800, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	meta := DefaultSetflMeta()
+	meta.NR, meta.NRho = 800, 800
+	if err := WriteSetfl(&buf, tab, meta); err != nil {
+		t.Fatal(err)
+	}
+	got, gm, err := ReadSetfl(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gm.Element != "Fe" || gm.AtomicNumber != 26 || gm.LatticeType != "bcc" {
+		t.Errorf("meta round trip: %+v", gm)
+	}
+	if math.Abs(got.Cutoff()-tab.Cutoff()) > 1e-12 {
+		t.Errorf("cutoff %g vs %g", got.Cutoff(), tab.Cutoff())
+	}
+	for r := 1.8; r < tab.Cutoff()-0.01; r += 0.031 {
+		v1, _ := tab.Energy(r)
+		v2, _ := got.Energy(r)
+		if math.Abs(v1-v2) > 1e-6 {
+			t.Errorf("setfl pair at %g: %g vs %g", r, v1, v2)
+		}
+		p1, _ := tab.Density(r)
+		p2, _ := got.Density(r)
+		if math.Abs(p1-p2) > 1e-6 {
+			t.Errorf("setfl density at %g: %g vs %g", r, p1, p2)
+		}
+	}
+	for rho := 1.0; rho < 24.0; rho += 0.7 {
+		f1, _ := tab.Embed(rho)
+		f2, _ := got.Embed(rho)
+		if math.Abs(f1-f2) > 1e-6 {
+			t.Errorf("setfl embed at %g: %g vs %g", rho, f1, f2)
+		}
+	}
+}
+
+func TestReadSetflRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"c1\nc2\nc3\n",
+		"c1\nc2\nc3\n2 Fe Ni\n",
+		"c1\nc2\nc3\n1 Fe\nnot five fields\n",
+		"c1\nc2\nc3\n1 Fe\n10 0.1 10 0.1 3.5\n26 55.8 2.86 bcc\n1 2 three\n",
+		"c1\nc2\nc3\n1 Fe\n10 0.1 10 0.1 3.5\n26 55.8 2.86 bcc\n1 2 3\n", // too few values
+		"c1\nc2\nc3\n1 Fe\n-5 0.1 10 0.1 3.5\n26 55.8 2.86 bcc\n",
+	}
+	for i, c := range cases {
+		if _, _, err := ReadSetfl(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+}

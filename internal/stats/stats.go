@@ -1,0 +1,120 @@
+// Package stats provides the small timing and summary-statistics
+// helpers the experiment harness uses: repeated-measurement summaries,
+// speedup computation and fixed-width table formatting support.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Summary condenses repeated measurements.
+type Summary struct {
+	N              int
+	Min, Max, Mean float64
+	Median         float64
+	StdDev         float64
+}
+
+// Summarize computes summary statistics; an empty input yields the
+// zero Summary.
+func Summarize(xs []float64) Summary {
+	n := len(xs)
+	if n == 0 {
+		return Summary{}
+	}
+	s := Summary{N: n, Min: math.Inf(1), Max: math.Inf(-1)}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(n)
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if n > 1 {
+		s.StdDev = math.Sqrt(ss / float64(n-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if n%2 == 1 {
+		s.Median = sorted[n/2]
+	} else {
+		s.Median = (sorted[n/2-1] + sorted[n/2]) / 2
+	}
+	return s
+}
+
+// Speedup returns serial/parallel, guarding against nonsense inputs.
+func Speedup(serial, parallel time.Duration) (float64, error) {
+	if serial <= 0 || parallel <= 0 {
+		return 0, fmt.Errorf("stats: durations must be positive (serial=%v, parallel=%v)", serial, parallel)
+	}
+	return float64(serial) / float64(parallel), nil
+}
+
+// Efficiency returns speedup/threads.
+func Efficiency(speedup float64, threads int) (float64, error) {
+	if threads < 1 {
+		return 0, fmt.Errorf("stats: threads %d must be >= 1", threads)
+	}
+	if speedup < 0 {
+		return 0, fmt.Errorf("stats: negative speedup %g", speedup)
+	}
+	return speedup / float64(threads), nil
+}
+
+// Timer measures wall-clock intervals with the monotonic clock (the
+// role gettimeofday() plays in the paper's §III.A).
+type Timer struct {
+	start   time.Time
+	elapsed time.Duration
+	running bool
+}
+
+// Start begins (or resumes) timing.
+func (t *Timer) Start() {
+	if !t.running {
+		t.start = time.Now()
+		t.running = true
+	}
+}
+
+// Stop pauses timing and accumulates the interval.
+func (t *Timer) Stop() {
+	if t.running {
+		t.elapsed += time.Since(t.start)
+		t.running = false
+	}
+}
+
+// Elapsed returns the accumulated time (including a running interval).
+func (t *Timer) Elapsed() time.Duration {
+	if t.running {
+		return t.elapsed + time.Since(t.start)
+	}
+	return t.elapsed
+}
+
+// Reset zeroes the timer and stops it.
+func (t *Timer) Reset() {
+	t.elapsed = 0
+	t.running = false
+}
+
+// Time runs fn and returns its wall-clock duration.
+func Time(fn func()) time.Duration {
+	start := time.Now()
+	fn()
+	return time.Since(start)
+}

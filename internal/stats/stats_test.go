@@ -1,0 +1,138 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Min != 2 || s.Max != 9 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.Mean != 5 {
+		t.Errorf("mean = %g", s.Mean)
+	}
+	if math.Abs(s.StdDev-2.138) > 0.001 { // sample stddev
+		t.Errorf("stddev = %g", s.StdDev)
+	}
+	if s.Median != 4.5 {
+		t.Errorf("median = %g", s.Median)
+	}
+}
+
+func TestSummarizeOddMedian(t *testing.T) {
+	s := Summarize([]float64{9, 1, 5})
+	if s.Median != 5 {
+		t.Errorf("median = %g", s.Median)
+	}
+	if s.StdDev == 0 {
+		t.Error("stddev of spread data must be > 0")
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{3})
+	if s.Min != 3 || s.Max != 3 || s.Mean != 3 || s.Median != 3 || s.StdDev != 0 {
+		t.Errorf("single summary = %+v", s)
+	}
+}
+
+func TestSummarizeBoundsProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		for i, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+			xs[i] = math.Mod(x, 1e6) // keep sums finite
+		}
+		s := Summarize(xs)
+		if len(xs) == 0 {
+			return s.N == 0
+		}
+		return s.Min <= s.Median && s.Median <= s.Max &&
+			s.Min <= s.Mean && s.Mean <= s.Max+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	s, err := Speedup(10*time.Second, 2*time.Second)
+	if err != nil || s != 5 {
+		t.Errorf("speedup = %g, %v", s, err)
+	}
+	if _, err := Speedup(0, time.Second); err == nil {
+		t.Error("zero serial accepted")
+	}
+	if _, err := Speedup(time.Second, 0); err == nil {
+		t.Error("zero parallel accepted")
+	}
+}
+
+func TestEfficiency(t *testing.T) {
+	e, err := Efficiency(12, 16)
+	if err != nil || e != 0.75 {
+		t.Errorf("efficiency = %g, %v", e, err)
+	}
+	if _, err := Efficiency(1, 0); err == nil {
+		t.Error("0 threads accepted")
+	}
+	if _, err := Efficiency(-1, 4); err == nil {
+		t.Error("negative speedup accepted")
+	}
+}
+
+func TestTimer(t *testing.T) {
+	var tm Timer
+	tm.Start()
+	time.Sleep(5 * time.Millisecond)
+	tm.Stop()
+	first := tm.Elapsed()
+	if first < 4*time.Millisecond {
+		t.Errorf("timer measured %v, want >= ~5ms", first)
+	}
+	// Accumulation across Start/Stop.
+	tm.Start()
+	time.Sleep(5 * time.Millisecond)
+	tm.Stop()
+	if tm.Elapsed() <= first {
+		t.Error("timer did not accumulate")
+	}
+	// Double Start/Stop are no-ops.
+	tm.Start()
+	tm.Start()
+	tm.Stop()
+	tm.Stop()
+	tm.Reset()
+	if tm.Elapsed() != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestTimerRunningElapsed(t *testing.T) {
+	var tm Timer
+	tm.Start()
+	time.Sleep(2 * time.Millisecond)
+	if tm.Elapsed() <= 0 {
+		t.Error("running timer must report progress")
+	}
+	tm.Stop()
+}
+
+func TestTimeFunc(t *testing.T) {
+	d := Time(func() { time.Sleep(3 * time.Millisecond) })
+	if d < 2*time.Millisecond {
+		t.Errorf("Time measured %v", d)
+	}
+}

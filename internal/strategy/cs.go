@@ -1,0 +1,119 @@
+package strategy
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+
+	"sdcmd/internal/neighbor"
+	"sdcmd/internal/vec"
+)
+
+// csReducer is the paper's first solution class in its simplest form:
+// iterations are split over threads and every update of the shared
+// reduction array is wrapped in one critical section. The paper's §IV
+// finding — "CS method achieves lowest efficiency … not feasible on
+// multi-core architectures" — comes from exactly this serialization.
+type csReducer struct {
+	list *neighbor.List
+	pool *Pool
+	mu   sync.Mutex
+}
+
+func (r *csReducer) Kind() Kind    { return CS }
+func (r *csReducer) Threads() int  { return r.pool.Threads() }
+func (r *csReducer) PairWork() int { return r.list.Pairs() }
+
+func (r *csReducer) SweepScalar(out []float64, visit ScalarVisit) {
+	r.pool.ParallelFor(r.list.N(), func(start, end, _ int) {
+		for i := start; i < end; i++ {
+			for _, j := range r.list.Neighbors(i) {
+				ci, cj := visit(int32(i), j)
+				r.mu.Lock()
+				out[i] += ci
+				out[j] += cj
+				r.mu.Unlock()
+			}
+		}
+	})
+}
+
+func (r *csReducer) SweepVector(out []vec.Vec3, visit VectorVisit) {
+	r.pool.ParallelFor(r.list.N(), func(start, end, _ int) {
+		for i := start; i < end; i++ {
+			for _, j := range r.list.Neighbors(i) {
+				f := visit(int32(i), j)
+				r.mu.Lock()
+				out[i][0] += f[0]
+				out[i][1] += f[1]
+				out[i][2] += f[2]
+				out[j][0] -= f[0]
+				out[j][1] -= f[1]
+				out[j][2] -= f[2]
+				r.mu.Unlock()
+			}
+		}
+	})
+}
+
+func (r *csReducer) ParallelForAtoms(body func(start, end, tid int)) {
+	r.pool.ParallelFor(r.list.N(), body)
+}
+
+// atomicReducer is the lock-free flavor of the first solution class:
+// each float64 accumulation is a compare-and-swap loop (the OpenMP
+// `#pragma omp atomic` analogue). Cheaper than a mutex but still pays a
+// cache-line ping-pong per update.
+type atomicReducer struct {
+	list *neighbor.List
+	pool *Pool
+}
+
+func (r *atomicReducer) Kind() Kind    { return AtomicCS }
+func (r *atomicReducer) Threads() int  { return r.pool.Threads() }
+func (r *atomicReducer) PairWork() int { return r.list.Pairs() }
+
+// atomicAddFloat64 adds v to *addr with a CAS loop.
+func atomicAddFloat64(addr *float64, v float64) {
+	bits := (*uint64)(unsafe.Pointer(addr))
+	for {
+		old := atomic.LoadUint64(bits)
+		new_ := math.Float64bits(math.Float64frombits(old) + v)
+		if atomic.CompareAndSwapUint64(bits, old, new_) {
+			return
+		}
+	}
+}
+
+func (r *atomicReducer) SweepScalar(out []float64, visit ScalarVisit) {
+	r.pool.ParallelFor(r.list.N(), func(start, end, _ int) {
+		for i := start; i < end; i++ {
+			for _, j := range r.list.Neighbors(i) {
+				ci, cj := visit(int32(i), j)
+				atomicAddFloat64(&out[i], ci)
+				atomicAddFloat64(&out[j], cj)
+			}
+		}
+	})
+}
+
+func (r *atomicReducer) SweepVector(out []vec.Vec3, visit VectorVisit) {
+	r.pool.ParallelFor(r.list.N(), func(start, end, _ int) {
+		for i := start; i < end; i++ {
+			for _, j := range r.list.Neighbors(i) {
+				f := visit(int32(i), j)
+				atomicAddFloat64(&out[i][0], f[0])
+				atomicAddFloat64(&out[i][1], f[1])
+				atomicAddFloat64(&out[i][2], f[2])
+				atomicAddFloat64(&out[j][0], -f[0])
+				atomicAddFloat64(&out[j][1], -f[1])
+				atomicAddFloat64(&out[j][2], -f[2])
+			}
+		}
+	})
+}
+
+func (r *atomicReducer) ParallelForAtoms(body func(start, end, tid int)) {
+	r.pool.ParallelFor(r.list.N(), body)
+}

@@ -1,0 +1,64 @@
+package strategy
+
+import (
+	"sdcmd/internal/neighbor"
+	"sdcmd/internal/vec"
+)
+
+// rcReducer is Redundant-Computations (the paper's last solution
+// class): each thread owns a block of atoms and computes *all* of their
+// interactions from a full neighbor list, writing only its own atoms.
+// No synchronization at all — but every pair is evaluated twice and the
+// full list doubles the neighbor-list memory, which is why Fig. 9 shows
+// RC scaling near-linearly yet sitting ≈1.7× below SDC.
+type rcReducer struct {
+	half *neighbor.List
+	full *neighbor.List
+	pool *Pool
+}
+
+func (r *rcReducer) Kind() Kind   { return RC }
+func (r *rcReducer) Threads() int { return r.pool.Threads() }
+
+// PairWork is the doubled pair count: RC's defining cost.
+func (r *rcReducer) PairWork() int { return r.full.Pairs() }
+
+// FullListBytes reports the extra neighbor-list storage RC carries
+// beyond the half list.
+func (r *rcReducer) FullListBytes() int {
+	return (r.full.Pairs() - r.half.Pairs()) * 4
+}
+
+func (r *rcReducer) SweepScalar(out []float64, visit ScalarVisit) {
+	r.pool.ParallelFor(r.full.N(), func(start, end, _ int) {
+		for i := start; i < end; i++ {
+			acc := 0.0
+			for _, j := range r.full.Neighbors(i) {
+				ci, _ := visit(int32(i), j)
+				acc += ci
+			}
+			out[i] += acc
+		}
+	})
+}
+
+func (r *rcReducer) SweepVector(out []vec.Vec3, visit VectorVisit) {
+	r.pool.ParallelFor(r.full.N(), func(start, end, _ int) {
+		for i := start; i < end; i++ {
+			var acc vec.Vec3
+			for _, j := range r.full.Neighbors(i) {
+				f := visit(int32(i), j)
+				acc[0] += f[0]
+				acc[1] += f[1]
+				acc[2] += f[2]
+			}
+			out[i][0] += acc[0]
+			out[i][1] += acc[1]
+			out[i][2] += acc[2]
+		}
+	})
+}
+
+func (r *rcReducer) ParallelForAtoms(body func(start, end, tid int)) {
+	r.pool.ParallelFor(r.full.N(), body)
+}

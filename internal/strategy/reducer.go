@@ -1,0 +1,155 @@
+package strategy
+
+import (
+	"fmt"
+	"strings"
+
+	"sdcmd/internal/core"
+	"sdcmd/internal/neighbor"
+	"sdcmd/internal/vec"
+)
+
+// Kind enumerates the reduction strategies of the paper's evaluation.
+type Kind int
+
+// The strategies. SDC is the paper's contribution; the others are the
+// comparison baselines of Fig. 9 (§I's five solution classes, minus
+// transactional memory which commodity hardware of neither 2009 nor
+// this reproduction provides, plus the serial reference).
+const (
+	// Serial runs the plain sequential loops of Figs. 1/2.
+	Serial Kind = iota
+	// SDC is Spatial Decomposition Coloring (Figs. 7/8).
+	SDC
+	// CS wraps every shared update in one critical section (mutex).
+	CS
+	// AtomicCS uses lock-free CAS adds instead of a mutex — the
+	// "atomic" flavor of the paper's first solution class.
+	AtomicCS
+	// SAP privatizes the reduction array per thread and merges.
+	SAP
+	// RC recomputes each pair twice on a full list so threads write
+	// only their own atoms.
+	RC
+)
+
+var kindNames = map[Kind]string{
+	Serial:   "serial",
+	SDC:      "sdc",
+	CS:       "cs",
+	AtomicCS: "atomic",
+	SAP:      "sap",
+	RC:       "rc",
+}
+
+// String returns the short lowercase name used by CLIs.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// ParseKind is the inverse of String (case-insensitive).
+func ParseKind(s string) (Kind, error) {
+	ls := strings.ToLower(strings.TrimSpace(s))
+	for k, n := range kindNames {
+		if n == ls {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("strategy: unknown kind %q (want one of serial, sdc, cs, atomic, sap, rc)", s)
+}
+
+// Kinds lists all strategies in presentation order.
+var Kinds = []Kind{Serial, SDC, CS, AtomicCS, SAP, RC}
+
+// ScalarVisit computes the pair contribution of (i, j) to a per-atom
+// scalar array: ci is added to out[i] and cj to out[j]. It must be a
+// pure function of its arguments (strategies call it concurrently) and
+// direction-consistent — visit(j, i) must return (cj, ci) — because the
+// RC strategy re-evaluates each pair from both ends.
+type ScalarVisit func(i, j int32) (ci, cj float64)
+
+// VectorVisit computes the pair force on atom i from atom j; out[i]
+// receives +f and out[j] receives −f (Newton's third law, the §II.D.2
+// optimization). It must be pure and antisymmetric —
+// visit(j, i) = −visit(i, j) — for the same RC reason.
+type VectorVisit func(i, j int32) vec.Vec3
+
+// Reducer executes the two irregular-reduction sweeps of the EAM force
+// calculation under one scheduling/synchronization policy.
+type Reducer interface {
+	// Kind identifies the policy.
+	Kind() Kind
+	// Threads returns the worker count (1 for Serial).
+	Threads() int
+	// SweepScalar accumulates visit over all pairs into out
+	// (the electron-density loop of Figs. 1/7). out is NOT zeroed.
+	SweepScalar(out []float64, visit ScalarVisit)
+	// SweepVector accumulates visit over all pairs into out
+	// (the force loop of Figs. 2/8). out is NOT zeroed.
+	SweepVector(out []vec.Vec3, visit VectorVisit)
+	// ParallelForAtoms runs body over [0, N) — the embedding phase,
+	// which has no cross-iteration dependence (§II.C phase 2).
+	ParallelForAtoms(body func(start, end, tid int))
+	// PairWork returns the number of visit calls one scalar sweep
+	// makes — the work-accounting input of the perf model (RC does
+	// twice the pair work, §IV).
+	PairWork() int
+}
+
+// Config assembles a Reducer.
+type Config struct {
+	// Kind selects the strategy.
+	Kind Kind
+	// List is the half neighbor list (all strategies consume half
+	// lists; RC derives its full list internally).
+	List *neighbor.List
+	// Pool supplies workers; nil is allowed for Serial only.
+	Pool *Pool
+	// Decomp is the SDC decomposition; required for Kind SDC.
+	Decomp *core.Decomposition
+}
+
+// New builds the reducer for cfg.
+func New(cfg Config) (Reducer, error) {
+	if cfg.List == nil {
+		return nil, fmt.Errorf("strategy: nil neighbor list")
+	}
+	if !cfg.List.Half {
+		return nil, fmt.Errorf("strategy: reducers require a half neighbor list")
+	}
+	if cfg.Kind != Serial {
+		if cfg.Pool == nil {
+			return nil, fmt.Errorf("strategy: %v requires a worker pool", cfg.Kind)
+		}
+	}
+	switch cfg.Kind {
+	case Serial:
+		return &serialReducer{list: cfg.List}, nil
+	case SDC:
+		if cfg.Decomp == nil {
+			return nil, fmt.Errorf("strategy: SDC requires a decomposition")
+		}
+		if cfg.Decomp.Reach < cfg.List.Cutoff+cfg.List.Skin-1e-12 {
+			return nil, fmt.Errorf("strategy: decomposition reach %g < list reach %g — coloring unsafe",
+				cfg.Decomp.Reach, cfg.List.Cutoff+cfg.List.Skin)
+		}
+		if len(cfg.Decomp.PartIndex) != cfg.List.N() {
+			return nil, fmt.Errorf("strategy: decomposition covers %d atoms, list %d",
+				len(cfg.Decomp.PartIndex), cfg.List.N())
+		}
+		return &sdcReducer{list: cfg.List, pool: cfg.Pool, dec: cfg.Decomp}, nil
+	case CS:
+		return &csReducer{list: cfg.List, pool: cfg.Pool}, nil
+	case AtomicCS:
+		return &atomicReducer{list: cfg.List, pool: cfg.Pool}, nil
+	case SAP:
+		return &sapReducer{list: cfg.List, pool: cfg.Pool}, nil
+	case RC:
+		return &rcReducer{half: cfg.List, full: cfg.List.ToFull(), pool: cfg.Pool}, nil
+	default:
+		return nil, fmt.Errorf("strategy: unknown kind %v", cfg.Kind)
+	}
+}

@@ -1,0 +1,124 @@
+package strategy
+
+import (
+	"sync"
+
+	"sdcmd/internal/neighbor"
+	"sdcmd/internal/vec"
+)
+
+// sapReducer is Shared-Array-Privatization (the paper's second solution
+// class, after Hall et al.): every thread accumulates into a private
+// copy of the reduction array, then the copies are merged into the
+// shared array inside a critical section — the paper's §IV explanation
+// for why SAP degrades past 8 cores (the merge serializes and the
+// private copies grow memory linearly with the thread count, competing
+// for cache).
+type sapReducer struct {
+	list *neighbor.List
+	pool *Pool
+
+	mu sync.Mutex
+	// Cached private arrays, threads × N, reused across sweeps so the
+	// steady-state memory overhead (threads copies of the reduction
+	// array) is visible to the memory accounting rather than the GC.
+	privScalar [][]float64
+	privVector [][]vec.Vec3
+}
+
+func (r *sapReducer) Kind() Kind    { return SAP }
+func (r *sapReducer) Threads() int  { return r.pool.Threads() }
+func (r *sapReducer) PairWork() int { return r.list.Pairs() }
+
+// PrivateBytes reports the extra memory SAP holds for privatized
+// copies; grows linearly with threads (§I class-2 disadvantage).
+func (r *sapReducer) PrivateBytes() int {
+	total := 0
+	for _, s := range r.privScalar {
+		total += len(s) * 8
+	}
+	for _, v := range r.privVector {
+		total += len(v) * 24
+	}
+	return total
+}
+
+func (r *sapReducer) scalarBuffers() [][]float64 {
+	if len(r.privScalar) != r.pool.Threads() || (len(r.privScalar) > 0 && len(r.privScalar[0]) != r.list.N()) {
+		r.privScalar = make([][]float64, r.pool.Threads())
+		for t := range r.privScalar {
+			r.privScalar[t] = make([]float64, r.list.N())
+		}
+	}
+	return r.privScalar
+}
+
+func (r *sapReducer) vectorBuffers() [][]vec.Vec3 {
+	if len(r.privVector) != r.pool.Threads() || (len(r.privVector) > 0 && len(r.privVector[0]) != r.list.N()) {
+		r.privVector = make([][]vec.Vec3, r.pool.Threads())
+		for t := range r.privVector {
+			r.privVector[t] = make([]vec.Vec3, r.list.N())
+		}
+	}
+	return r.privVector
+}
+
+func (r *sapReducer) SweepScalar(out []float64, visit ScalarVisit) {
+	priv := r.scalarBuffers()
+	n := r.list.N()
+	r.pool.Run(func(tid int) {
+		p := priv[tid]
+		for k := range p {
+			p[k] = 0
+		}
+		start, end := chunk(n, r.pool.Threads(), tid)
+		for i := start; i < end; i++ {
+			for _, j := range r.list.Neighbors(i) {
+				ci, cj := visit(int32(i), j)
+				p[i] += ci
+				p[j] += cj
+			}
+		}
+		// Merge under the critical section, as the paper describes:
+		// "updating shared array must be done in a critical section".
+		r.mu.Lock()
+		for k := 0; k < n; k++ {
+			out[k] += p[k]
+		}
+		r.mu.Unlock()
+	})
+}
+
+func (r *sapReducer) SweepVector(out []vec.Vec3, visit VectorVisit) {
+	priv := r.vectorBuffers()
+	n := r.list.N()
+	r.pool.Run(func(tid int) {
+		p := priv[tid]
+		for k := range p {
+			p[k] = vec.Vec3{}
+		}
+		start, end := chunk(n, r.pool.Threads(), tid)
+		for i := start; i < end; i++ {
+			for _, j := range r.list.Neighbors(i) {
+				f := visit(int32(i), j)
+				p[i][0] += f[0]
+				p[i][1] += f[1]
+				p[i][2] += f[2]
+				p[j][0] -= f[0]
+				p[j][1] -= f[1]
+				p[j][2] -= f[2]
+			}
+		}
+		r.mu.Lock()
+		for k := 0; k < n; k++ {
+			out[k][0] += p[k][0]
+			out[k][1] += p[k][1]
+			out[k][2] += p[k][2]
+		}
+		r.mu.Unlock()
+	})
+}
+
+func (r *sapReducer) ParallelForAtoms(body func(start, end, tid int)) {
+	r.pool.ParallelFor(r.list.N(), body)
+}

@@ -1,0 +1,48 @@
+package strategy
+
+import (
+	"sdcmd/internal/neighbor"
+	"sdcmd/internal/vec"
+)
+
+// serialReducer is the sequential baseline: the exact loop nest of the
+// paper's Figs. 1 and 2, with the half-list symmetry and Newton's-third-
+// law optimizations of §II.D already applied. Speedups in Table 1 and
+// Fig. 9 are measured against this code path.
+type serialReducer struct {
+	list *neighbor.List
+}
+
+func (r *serialReducer) Kind() Kind    { return Serial }
+func (r *serialReducer) Threads() int  { return 1 }
+func (r *serialReducer) PairWork() int { return r.list.Pairs() }
+
+func (r *serialReducer) SweepScalar(out []float64, visit ScalarVisit) {
+	n := r.list.N()
+	for i := 0; i < n; i++ {
+		for _, j := range r.list.Neighbors(i) {
+			ci, cj := visit(int32(i), j)
+			out[i] += ci
+			out[j] += cj
+		}
+	}
+}
+
+func (r *serialReducer) SweepVector(out []vec.Vec3, visit VectorVisit) {
+	n := r.list.N()
+	for i := 0; i < n; i++ {
+		for _, j := range r.list.Neighbors(i) {
+			f := visit(int32(i), j)
+			out[i][0] += f[0]
+			out[i][1] += f[1]
+			out[i][2] += f[2]
+			out[j][0] -= f[0]
+			out[j][1] -= f[1]
+			out[j][2] -= f[2]
+		}
+	}
+}
+
+func (r *serialReducer) ParallelForAtoms(body func(start, end, tid int)) {
+	body(0, r.list.N(), 0)
+}

@@ -1,0 +1,160 @@
+package xyz
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"sdcmd/internal/box"
+	"sdcmd/internal/vec"
+)
+
+// Binary checkpoint layout (little-endian):
+//
+//	magic "SDCK" | version u32 | step i64 | mass f64 |
+//	box lo[3] hi[3] f64 | periodic 3×u8 | pad u8 |
+//	n u32 | hasVel u8 | pad 3×u8 |
+//	positions n×3×f64 | velocities (if hasVel) n×3×f64 |
+//	crc32 (IEEE, of everything after the magic) u32
+const (
+	checkpointMagic   = "SDCK"
+	checkpointVersion = 1
+)
+
+// WriteCheckpoint writes an exact-restart binary checkpoint.
+func WriteCheckpoint(w io.Writer, s *Snapshot) error {
+	if len(s.Vel) != 0 && len(s.Vel) != len(s.Pos) {
+		return fmt.Errorf("xyz: %d velocities for %d positions", len(s.Vel), len(s.Pos))
+	}
+	crc := crc32.NewIEEE()
+	mw := io.MultiWriter(w, crc)
+
+	if _, err := w.Write([]byte(checkpointMagic)); err != nil {
+		return err
+	}
+	write := func(v any) error { return binary.Write(mw, binary.LittleEndian, v) }
+
+	if err := write(uint32(checkpointVersion)); err != nil {
+		return err
+	}
+	if err := write(int64(s.Step)); err != nil {
+		return err
+	}
+	if err := write(s.Mass); err != nil {
+		return err
+	}
+	if err := write(s.Box.Lo); err != nil {
+		return err
+	}
+	if err := write(s.Box.Hi); err != nil {
+		return err
+	}
+	var per [4]uint8
+	for d := 0; d < 3; d++ {
+		if s.Box.Periodic[d] {
+			per[d] = 1
+		}
+	}
+	if err := write(per); err != nil {
+		return err
+	}
+	hasVel := uint8(0)
+	if len(s.Vel) == len(s.Pos) && len(s.Pos) > 0 {
+		hasVel = 1
+	}
+	if err := write(uint32(len(s.Pos))); err != nil {
+		return err
+	}
+	if err := write([4]uint8{hasVel}); err != nil {
+		return err
+	}
+	if err := write(s.Pos); err != nil {
+		return err
+	}
+	if hasVel == 1 {
+		if err := write(s.Vel); err != nil {
+			return err
+		}
+	}
+	return binary.Write(w, binary.LittleEndian, crc.Sum32())
+}
+
+// ReadCheckpoint parses a checkpoint, verifying magic, version and CRC.
+func ReadCheckpoint(r io.Reader) (*Snapshot, error) {
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, fmt.Errorf("xyz: checkpoint magic: %w", err)
+	}
+	if string(magic) != checkpointMagic {
+		return nil, fmt.Errorf("xyz: bad checkpoint magic %q", magic)
+	}
+	crc := crc32.NewIEEE()
+	tr := io.TeeReader(r, crc)
+	read := func(v any) error { return binary.Read(tr, binary.LittleEndian, v) }
+
+	var version uint32
+	if err := read(&version); err != nil {
+		return nil, err
+	}
+	if version != checkpointVersion {
+		return nil, fmt.Errorf("xyz: unsupported checkpoint version %d", version)
+	}
+	var step int64
+	if err := read(&step); err != nil {
+		return nil, err
+	}
+	snap := &Snapshot{Step: int(step), Element: "Fe"}
+	if err := read(&snap.Mass); err != nil {
+		return nil, err
+	}
+	var lo, hi vec.Vec3
+	if err := read(&lo); err != nil {
+		return nil, err
+	}
+	if err := read(&hi); err != nil {
+		return nil, err
+	}
+	var per [4]uint8
+	if err := read(&per); err != nil {
+		return nil, err
+	}
+	bx, err := box.New(lo, hi)
+	if err != nil {
+		return nil, fmt.Errorf("xyz: checkpoint box: %w", err)
+	}
+	for d := 0; d < 3; d++ {
+		bx.Periodic[d] = per[d] == 1
+	}
+	snap.Box = bx
+	var n uint32
+	if err := read(&n); err != nil {
+		return nil, err
+	}
+	if n > 1<<28 {
+		return nil, fmt.Errorf("xyz: implausible atom count %d", n)
+	}
+	var flags [4]uint8
+	if err := read(&flags); err != nil {
+		return nil, err
+	}
+	snap.Pos = make([]vec.Vec3, n)
+	if err := read(&snap.Pos); err != nil {
+		return nil, err
+	}
+	if flags[0] == 1 {
+		snap.Vel = make([]vec.Vec3, n)
+		if err := read(&snap.Vel); err != nil {
+			return nil, err
+		}
+	}
+	want := crc.Sum32()
+	var got uint32
+	if err := binary.Read(r, binary.LittleEndian, &got); err != nil {
+		return nil, fmt.Errorf("xyz: checkpoint CRC: %w", err)
+	}
+	if got != want {
+		return nil, fmt.Errorf("xyz: checkpoint corrupted (crc %08x != %08x)", got, want)
+	}
+	return snap, nil
+}
