@@ -19,7 +19,7 @@ import (
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "eamtool:", err)
+		_, _ = fmt.Fprintln(os.Stderr, "eamtool:", err)
 		os.Exit(1)
 	}
 }
@@ -56,10 +56,13 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		defer f.Close()
 		meta := potential.DefaultSetflMeta()
 		meta.NR, meta.NRho = *nr, *nrho
 		if err := potential.WriteSetfl(f, tab, meta); err != nil {
+			_ = f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
 			return err
 		}
 		fmt.Printf("wrote %s: %s, cutoff %.4g Å, %d×%d knots\n", *write, tab.Name(), tab.Cutoff(), *nr, *nrho)
@@ -127,6 +130,6 @@ func readSetfl(path string) (*potential.Tabulated, potential.SetflMeta, error) {
 	if err != nil {
 		return nil, potential.SetflMeta{}, err
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }() // read-only: close errors carry no data loss
 	return potential.ReadSetfl(f)
 }

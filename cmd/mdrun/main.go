@@ -20,12 +20,21 @@ import (
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "mdrun:", err)
+		_, _ = fmt.Fprintln(os.Stderr, "mdrun:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+// closeKeep closes f and, when the surrounding function is otherwise
+// succeeding, promotes the close error — data written to f may not have
+// reached the disk.
+func closeKeep(f *os.File, retErr *error) {
+	if cerr := f.Close(); cerr != nil && *retErr == nil {
+		*retErr = cerr
+	}
+}
+
+func run(args []string) (retErr error) {
 	fs := flag.NewFlagSet("mdrun", flag.ContinueOnError)
 	cells := fs.Int("cells", 8, "bcc supercells per side (atoms = 2*cells^3)")
 	steps := fs.Int("steps", 100, "timesteps to run")
@@ -69,7 +78,7 @@ func run(args []string) error {
 			return err
 		}
 		sim, err = sdcmd.RestoreSimulation(f, simOpts)
-		f.Close()
+		_ = f.Close() // read-only: close errors carry no data loss
 		if err != nil {
 			return err
 		}
@@ -88,7 +97,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		defer f.Close()
+		defer closeKeep(f, &retErr)
 		if err := sim.StartThermoLog(f); err != nil {
 			return err
 		}
@@ -101,7 +110,7 @@ func run(args []string) error {
 			return err
 		}
 		xyzFile = f
-		defer xyzFile.Close()
+		defer closeKeep(xyzFile, &retErr)
 	}
 
 	fmt.Printf("mdrun: %d atoms, strategy=%s threads=%d dt=%g ps\n", sim.N(), *strat, *threads, *dt)
@@ -139,7 +148,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		defer f.Close()
+		defer closeKeep(f, &retErr)
 		if err := sim.WriteCheckpoint(f); err != nil {
 			return err
 		}

@@ -25,7 +25,7 @@ import (
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "sdcbench:", err)
+		_, _ = fmt.Fprintln(os.Stderr, "sdcbench:", err)
 		os.Exit(1)
 	}
 }
@@ -38,6 +38,7 @@ func run(args []string) error {
 	steps := fs.Int("steps", 10, "measured mode: timed force evaluations")
 	threads := fs.String("threads", "", "comma-separated thread counts (default 2,3,4,8,12,16)")
 	csvOut := fs.Bool("csv", false, "emit machine-readable CSV instead of tables")
+	check := fs.Bool("check", false, "verify all strategies with the dynamic write-set check first; measured sweeps run checked")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -59,6 +60,7 @@ func run(args []string) error {
 		MeasuredSteps: *steps,
 		Threads:       ts,
 		CSV:           *csvOut,
+		Check:         *check,
 	}
 	names := []string{*exp}
 	if *exp == "all" {

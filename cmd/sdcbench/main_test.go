@@ -17,6 +17,13 @@ func TestRunMeasuredTiny(t *testing.T) {
 	}
 }
 
+func TestRunChecked(t *testing.T) {
+	if err := run([]string{"-experiment", "reorder", "-check", "-mode", "measured",
+		"-cells", "6", "-steps", "1", "-threads", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	if err := run([]string{"-experiment", "bogus"}); err == nil {
 		t.Error("unknown experiment accepted")

@@ -23,7 +23,7 @@ import (
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "sdcinfo:", err)
+		_, _ = fmt.Fprintln(os.Stderr, "sdcinfo:", err)
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,71 @@
+// Command sdclint statically checks the SDC source disciplines — the
+// invariants the paper's race-freedom proof (§II.B) rests on:
+//
+//	sdclint ./...            # lint the whole tree, exit 1 on findings
+//	sdclint -json ./...      # one JSON finding per line, for tooling
+//	sdclint -rules           # list the rules and what they enforce
+//
+// Findings print as file:line:col: rule: message. A finding is
+// suppressed by a same-line or preceding-line comment of the form
+//
+//	//lint:ignore <rule> <reason>
+//
+// where the reason is mandatory. See DESIGN.md, "Correctness tooling",
+// for how sdclint relates to strategy.AuditSDCSchedule (static schedule
+// proof) and strategy.CheckedReducer (dynamic write-set check).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"sdcmd/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sdclint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	asJSON := fs.Bool("json", false, "emit one JSON finding per line")
+	listRules := fs.Bool("rules", false, "list the rules and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	rules := lint.DefaultRules()
+	if *listRules {
+		for _, r := range rules {
+			if _, err := fmt.Fprintf(stdout, "%-20s %s\n", r.Name(), r.Doc()); err != nil {
+				return 2
+			}
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	root, err := os.Getwd()
+	if err != nil {
+		_, _ = fmt.Fprintln(stderr, "sdclint:", err)
+		return 2
+	}
+	pkgs, err := lint.Load(root, patterns)
+	if err != nil {
+		_, _ = fmt.Fprintln(stderr, "sdclint:", err)
+		return 2
+	}
+	findings := lint.Run(pkgs, rules)
+	if err := lint.Write(stdout, findings, *asJSON); err != nil {
+		_, _ = fmt.Fprintln(stderr, "sdclint:", err)
+		return 2
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -21,7 +21,7 @@ import (
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "sdctraj:", err)
+		_, _ = fmt.Fprintln(os.Stderr, "sdctraj:", err)
 		os.Exit(1)
 	}
 }
@@ -49,7 +49,7 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }() // read-only: close errors carry no data loss
 	frames, err := xyz.ReadAllXYZ(f)
 	if err != nil {
 		return err

@@ -60,25 +60,27 @@ func RunCluster(opts Options) (*Cluster, error) {
 }
 
 // Render prints the sweeps.
-func (c *Cluster) Render(w io.Writer) {
-	fmt.Fprintf(w, "CLUSTER study (§V future work) — hybrid MPI+SDC on %s, %d total cores\n",
+func (c *Cluster) Render(w io.Writer) error {
+	p := &printer{w: w}
+	p.printf("CLUSTER study (§V future work) — hybrid MPI+SDC on %s, %d total cores\n",
 		c.Case, c.TotalCores)
 	for _, fab := range c.Fabrics {
-		fmt.Fprintf(w, "\n  fabric: %s\n", fab.Interconnect.Name)
-		fmt.Fprintf(w, "  %10s %10s %10s %10s\n", "ranks", "threads", "speedup", "comm %")
+		p.printf("\n  fabric: %s\n", fab.Interconnect.Name)
+		p.printf("  %10s %10s %10s %10s\n", "ranks", "threads", "speedup", "comm %")
 		for i, pt := range fab.Points {
 			mark := ""
 			if i == fab.BestIndex {
 				mark = "  <- best mix"
 			}
-			fmt.Fprintf(w, "  %10d %10d %10.2f %9.1f%%%s\n",
+			p.printf("  %10d %10d %10.2f %9.1f%%%s\n",
 				pt.Ranks, pt.ThreadsPerRank, pt.Speedup, pt.CommFraction*100, mark)
 		}
 	}
-	fmt.Fprintln(w, "\nReading: on a fast fabric many small ranks win (each node's SDC")
-	fmt.Fprintln(w, "sweep stays in cache and barriers stay cheap); on commodity")
-	fmt.Fprintln(w, "Ethernet the per-message latency pushes the optimum toward fewer,")
-	fmt.Fprintln(w, "fatter ranks — the trade-off the paper's §V anticipates.")
+	p.println("\nReading: on a fast fabric many small ranks win (each node's SDC")
+	p.println("sweep stays in cache and barriers stay cheap); on commodity")
+	p.println("Ethernet the per-message latency pushes the optimum toward fewer,")
+	p.println("fatter ranks — the trade-off the paper's §V anticipates.")
+	return p.Err()
 }
 
 // WriteCSV emits the sweeps in long form.

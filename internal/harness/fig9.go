@@ -90,21 +90,23 @@ func RunFig9(opts Options) (*Fig9, error) {
 
 // Render prints the four panels as aligned text series, one row per
 // strategy — the same data the paper plots.
-func (f *Fig9) Render(w io.Writer) {
-	fmt.Fprintf(w, "FIG 9 — speedup curves: SDC(2D) vs CS vs Atomic vs SAP vs RC (%s mode)\n", f.Mode)
+func (f *Fig9) Render(w io.Writer) error {
+	p := &printer{w: w}
+	p.printf("FIG 9 — speedup curves: SDC(2D) vs CS vs Atomic vs SAP vs RC (%s mode)\n", f.Mode)
 	for _, c := range f.Cases {
-		fmt.Fprintf(w, "\n%s\n", c)
-		fmt.Fprintf(w, "  %-8s", "threads:")
-		for _, p := range f.Threads {
-			fmt.Fprintf(w, " %5d", p)
+		p.printf("\n%s\n", c)
+		p.printf("  %-8s", "threads:")
+		for _, th := range f.Threads {
+			p.printf(" %5d", th)
 		}
-		fmt.Fprintln(w)
+		p.println()
 		for _, k := range Fig9Strategies {
-			fmt.Fprintf(w, "  %-8s", k.String())
+			p.printf("  %-8s", k.String())
 			for _, cell := range f.Curves[c][k] {
-				fmt.Fprintf(w, " %s", cell.Format())
+				p.printf(" %s", cell.Format())
 			}
-			fmt.Fprintln(w)
+			p.println()
 		}
 	}
+	return p.Err()
 }

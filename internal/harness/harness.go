@@ -75,6 +75,11 @@ type Options struct {
 	MeasuredSteps int
 	// Machine is the perfmodel calibration (default XeonE7320).
 	Machine perfmodel.Machine
+	// Check wraps every measured-mode reducer in a
+	// strategy.CheckedReducer and fails the run on any write conflict.
+	// Timings taken under Check include the checker's bookkeeping and
+	// must not be compared against unchecked runs.
+	Check bool
 }
 
 // withDefaults fills unset fields.

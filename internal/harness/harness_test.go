@@ -76,7 +76,9 @@ func TestRunTable1Model(t *testing.T) {
 		t.Errorf("large3 2D @16 = %+v, want ≈12.3", l2d)
 	}
 	var buf bytes.Buffer
-	res.Render(&buf)
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
 	out := buf.String()
 	if !strings.Contains(out, "TABLE 1") || !strings.Contains(out, "two-dimensional") {
 		t.Errorf("render output missing headers:\n%s", out)
@@ -112,7 +114,9 @@ func TestRunFig9Model(t *testing.T) {
 		}
 	}
 	var buf bytes.Buffer
-	res.Render(&buf)
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
 	if !strings.Contains(buf.String(), "FIG 9") {
 		t.Error("render header missing")
 	}
@@ -131,7 +135,9 @@ func TestRunReorderModel(t *testing.T) {
 		t.Errorf("parallel improvement %.1f%%, want ≈39%%", p)
 	}
 	var buf bytes.Buffer
-	res.Render(&buf)
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
 	if !strings.Contains(buf.String(), "data reordering") {
 		t.Error("render header missing")
 	}
@@ -214,7 +220,9 @@ func TestRunNUMAModel(t *testing.T) {
 		}
 	}
 	var buf bytes.Buffer
-	res.Render(&buf)
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
 	if !strings.Contains(buf.String(), "NUMA study") {
 		t.Error("render header missing")
 	}
@@ -322,7 +330,9 @@ func TestRunCluster(t *testing.T) {
 			eth.Points[eth.BestIndex].Ranks, ib.Points[ib.BestIndex].Ranks)
 	}
 	var buf bytes.Buffer
-	res.Render(&buf)
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
 	if !strings.Contains(buf.String(), "CLUSTER study") {
 		t.Error("render header missing")
 	}

@@ -45,6 +45,7 @@ func measureForceTime(opts Options, spec measureSpec) (time.Duration, error) {
 	}
 
 	pot := potential.DefaultFe()
+	//lint:ignore float-compare exact config equality: both sides are the same unrounded option value, not computed sums
 	if pot.Cutoff() != opts.Cutoff {
 		p := potential.DefaultFeParams()
 		p.Cut = opts.Cutoff
@@ -83,6 +84,11 @@ func measureForceTime(opts Options, spec measureSpec) (time.Duration, error) {
 	if err != nil {
 		return 0, err
 	}
+	var chk *strategy.CheckedReducer
+	if opts.Check {
+		chk = strategy.NewCheckedReducer(red)
+		red = chk
+	}
 	eng, err := force.NewEngine(pot, cfg.Box)
 	if err != nil {
 		return 0, err
@@ -98,5 +104,11 @@ func measureForceTime(opts Options, spec measureSpec) (time.Duration, error) {
 			return 0, err
 		}
 	}
-	return time.Since(start), nil
+	elapsed := time.Since(start)
+	if chk != nil {
+		if err := chk.Err(); err != nil {
+			return 0, fmt.Errorf("harness: %v/%v sweep failed the write-set check: %w", spec.kind, spec.dim, err)
+		}
+	}
+	return elapsed, nil
 }

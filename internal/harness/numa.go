@@ -1,7 +1,6 @@
 package harness
 
 import (
-	"fmt"
 	"io"
 
 	"sdcmd/internal/core"
@@ -70,27 +69,29 @@ func RunNUMA(opts Options) (*NUMA, error) {
 }
 
 // Render prints the study.
-func (n *NUMA) Render(w io.Writer) {
-	fmt.Fprintf(w, "NUMA study (§V future work) — SDC 2D on %s, %d sockets × %d cores, remote penalty %.0f%%\n",
+func (n *NUMA) Render(w io.Writer) error {
+	p := &printer{w: w}
+	p.printf("NUMA study (§V future work) — SDC 2D on %s, %d sockets × %d cores, remote penalty %.0f%%\n",
 		n.Case, n.Topology.Sockets, n.Topology.CoresPerSocket, n.Topology.RemotePenalty*100)
-	fmt.Fprintf(w, "  %-22s", "threads:")
-	for _, p := range n.Threads {
-		fmt.Fprintf(w, " %6d", p)
+	p.printf("  %-22s", "threads:")
+	for _, th := range n.Threads {
+		p.printf(" %6d", th)
 	}
-	fmt.Fprintln(w)
+	p.println()
 	row := func(name string, vals []float64) {
-		fmt.Fprintf(w, "  %-22s", name)
+		p.printf("  %-22s", name)
 		for _, v := range vals {
-			fmt.Fprintf(w, " %6.2f", v)
+			p.printf(" %6.2f", v)
 		}
-		fmt.Fprintln(w)
+		p.println()
 	}
 	row("naive placement", n.Naive)
 	row("NUMA-aware placement", n.Aware)
 	row("no NUMA penalty", n.Ideal)
-	fmt.Fprintf(w, "  %-22s", "aware gain (%)")
+	p.printf("  %-22s", "aware gain (%)")
 	for _, v := range n.Improvement {
-		fmt.Fprintf(w, " %6.1f", v*100)
+		p.printf(" %6.1f", v*100)
 	}
-	fmt.Fprintln(w)
+	p.println()
+	return p.Err()
 }

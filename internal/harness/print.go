@@ -1,0 +1,32 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+)
+
+// printer is a sticky-error formatter: the first write error latches
+// and every later call becomes a no-op, so render code can stay a
+// straight-line sequence of printf calls and still surface I/O failures
+// (the unchecked-error lint discipline) through one final Err.
+type printer struct {
+	w   io.Writer
+	err error
+}
+
+func (p *printer) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+func (p *printer) println(args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintln(p.w, args...)
+}
+
+// Err returns the first write error, if any.
+func (p *printer) Err() error { return p.err }

@@ -93,10 +93,12 @@ func improvement(unopt, opt time.Duration) float64 {
 }
 
 // Render prints the comparison.
-func (r *Reorder) Render(w io.Writer) {
-	fmt.Fprintf(w, "§II.D — data reordering efficiency increase (%s mode)\n", r.Mode)
-	fmt.Fprintf(w, "  serial:   unoptimized %v, optimized %v  ->  %+.1f%% (paper: 12%%)\n",
+func (r *Reorder) Render(w io.Writer) error {
+	p := &printer{w: w}
+	p.printf("§II.D — data reordering efficiency increase (%s mode)\n", r.Mode)
+	p.printf("  serial:   unoptimized %v, optimized %v  ->  %+.1f%% (paper: 12%%)\n",
 		r.SerialUnopt, r.SerialOpt, r.SerialImprovement())
-	fmt.Fprintf(w, "  parallel: unoptimized %v, optimized %v  ->  %+.1f%% (paper: 39%%, %d threads)\n",
+	p.printf("  parallel: unoptimized %v, optimized %v  ->  %+.1f%% (paper: 39%%, %d threads)\n",
 		r.ParallelUnopt, r.ParallelOpt, r.ParallelImprovement(), r.Threads)
+	return p.Err()
 }

@@ -108,23 +108,25 @@ func (t *Table1) runMeasured(opts Options) error {
 }
 
 // Render prints the table in the layout of the paper's Table 1.
-func (t *Table1) Render(w io.Writer) {
-	fmt.Fprintf(w, "TABLE 1 — speedups of SDC methods (%s mode)\n", t.Mode)
+func (t *Table1) Render(w io.Writer) error {
+	p := &printer{w: w}
+	p.printf("TABLE 1 — speedups of SDC methods (%s mode)\n", t.Mode)
 	for _, c := range t.Cases {
-		fmt.Fprintf(w, "\n%s\n", c)
-		fmt.Fprintf(w, "  %-24s", "threads:")
-		for _, p := range t.Threads {
-			fmt.Fprintf(w, " %5d", p)
+		p.printf("\n%s\n", c)
+		p.printf("  %-24s", "threads:")
+		for _, th := range t.Threads {
+			p.printf(" %5d", th)
 		}
-		fmt.Fprintln(w)
+		p.println()
 		for _, dim := range Dims {
-			fmt.Fprintf(w, "  SDC (%s)%*s", dimName(dim), 24-len("SDC ()")-len(dimName(dim)), "")
+			p.printf("  SDC (%s)%*s", dimName(dim), 24-len("SDC ()")-len(dimName(dim)), "")
 			for _, cell := range t.Cells[c][dim] {
-				fmt.Fprintf(w, " %s", cell.Format())
+				p.printf(" %s", cell.Format())
 			}
-			fmt.Fprintln(w)
+			p.println()
 		}
 	}
+	return p.Err()
 }
 
 func dimName(d core.Dim) string {

@@ -1,0 +1,67 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sdcmd/internal/core"
+	"sdcmd/internal/strategy"
+)
+
+func TestVerifyStrategiesAllClean(t *testing.T) {
+	res, err := VerifyStrategies(Options{MeasuredCells: 6, Threads: []int{4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed() {
+		t.Fatalf("verification failed on the shipped strategies: %+v", res)
+	}
+	if len(res.Results) != len(strategy.Kinds) {
+		t.Fatalf("%d results, want one per strategy (%d)", len(res.Results), len(strategy.Kinds))
+	}
+	if res.AuditColors < 2 || res.AuditConflicts != 0 {
+		t.Fatalf("audit: %d colors, %d conflicts — want >= 2 colors and none",
+			res.AuditColors, res.AuditConflicts)
+	}
+	for _, r := range res.Results {
+		if len(r.Conflicts) != 0 {
+			t.Errorf("%v: %d conflicts on a correct strategy", r.Kind, len(r.Conflicts))
+		}
+		// Reassociation noise only: far below any physical force scale.
+		if r.MaxForceDiff > 1e-9 {
+			t.Errorf("%v: force deviates from serial by %g", r.Kind, r.MaxForceDiff)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"STRATEGY VERIFICATION", "schedule audit", "shared-pair", "owner-only", "ok"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "RACE") {
+		t.Errorf("render reports a race on clean strategies:\n%s", out)
+	}
+}
+
+func TestMeasuredSweepUnderCheck(t *testing.T) {
+	opts := Options{MeasuredCells: 6, MeasuredSteps: 1, Threads: []int{2}, Check: true}.withDefaults()
+	for _, spec := range []measureSpec{
+		{kind: strategy.Serial, threads: 1},
+		{kind: strategy.SDC, dim: core.Dim2, threads: 2},
+		{kind: strategy.SAP, threads: 2},
+	} {
+		d, err := measureForceTime(opts, spec)
+		if err != nil {
+			t.Fatalf("%v under check: %v", spec.kind, err)
+		}
+		if d <= 0 {
+			t.Fatalf("%v under check: non-positive duration %v", spec.kind, d)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"strings"
+)
+
+// An ignore directive has the form
+//
+//	//lint:ignore <rule> <reason>
+//
+// and suppresses findings of <rule> on its own line (trailing comment)
+// or on the first line after its comment group (standalone comment
+// above the offending code). The reason is mandatory: a suppression
+// without a recorded justification is itself reported.
+const ignorePrefix = "lint:ignore"
+
+type ignoreDirective struct {
+	file    string // Rel path of the file holding the directive
+	line    int    // line of the directive comment
+	endLine int    // last line of the enclosing comment group
+	rule    string
+	reason  string
+}
+
+// collectIgnores scans every comment of every file for directives.
+func (p *Package) collectIgnores() {
+	for _, f := range p.Files {
+		for _, group := range f.AST.Comments {
+			groupEnd := p.Fset.Position(group.End()).Line
+			for _, c := range group.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				if !strings.HasPrefix(text, ignorePrefix) {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(text, ignorePrefix))
+				d := ignoreDirective{
+					file:    f.Rel,
+					line:    p.Fset.Position(c.Pos()).Line,
+					endLine: groupEnd,
+				}
+				if len(fields) >= 1 {
+					d.rule = fields[0]
+				}
+				if len(fields) >= 2 {
+					d.reason = strings.Join(fields[1:], " ")
+				}
+				p.ignores = append(p.ignores, d)
+			}
+		}
+	}
+}
+
+// suppressed reports whether a well-formed directive covers f.
+func (p *Package) suppressed(f Finding) bool {
+	for _, d := range p.ignores {
+		if d.rule == "" || d.reason == "" {
+			continue // malformed: reported, never honored
+		}
+		if d.rule != f.Rule || d.file != f.File {
+			continue
+		}
+		if f.Line == d.line || f.Line == d.endLine+1 {
+			return true
+		}
+	}
+	return false
+}
+
+// malformedIgnores reports directives missing a rule or a reason.
+func (p *Package) malformedIgnores() []Finding {
+	var out []Finding
+	for _, d := range p.ignores {
+		if d.rule != "" && d.reason != "" {
+			continue
+		}
+		out = append(out, Finding{
+			File: d.file,
+			Line: d.line,
+			Col:  1,
+			Rule: "ignore-directive",
+			Message: "malformed //lint:ignore directive: want " +
+				"//lint:ignore <rule> <reason>",
+		})
+	}
+	return out
+}

@@ -1,0 +1,106 @@
+// Package lint is a small static-analysis framework for the SDC
+// concurrency invariants. The paper's correctness argument (§II.B) is a
+// proof obligation — same-colored subdomains never write the same
+// rho[]/force[] slot — and that proof only holds while the codebase
+// keeps a handful of source-level disciplines: all worker parallelism
+// routes through strategy.Pool, atomics stay confined to the CS
+// reducer, kernels stay deterministic, and errors are not silently
+// dropped. The rules in this package machine-check those disciplines;
+// cmd/sdclint runs them over the tree, and AuditSDCSchedule /
+// strategy.CheckedReducer cover the schedule-level and runtime-level
+// complements (see DESIGN.md, "Correctness tooling").
+//
+// The framework is deliberately stdlib-only (go/ast, go/parser,
+// go/token, go/types): the container must be able to lint itself with
+// no external dependencies.
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Finding is one rule violation at a source position.
+type Finding struct {
+	// File is the path relative to the linted root (slash-separated).
+	File string `json:"file"`
+	// Line and Col are 1-based.
+	Line int `json:"line"`
+	Col  int `json:"col"`
+	// Rule is the short rule name (the token //lint:ignore matches on).
+	Rule string `json:"rule"`
+	// Message explains the violation and the sanctioned alternative.
+	Message string `json:"message"`
+}
+
+// String renders the conventional file:line:col: rule: message form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Rule, f.Message)
+}
+
+// Rule is one checkable source discipline.
+type Rule interface {
+	// Name is the short identifier used in reports and ignore
+	// directives.
+	Name() string
+	// Doc is a one-line description of what the rule enforces and why.
+	Doc() string
+	// Check reports the rule's findings in one package. Suppression
+	// via //lint:ignore is applied by Run, not by the rule.
+	Check(p *Package) []Finding
+}
+
+// Run applies rules to pkgs, drops findings suppressed by
+// //lint:ignore directives, reports malformed directives, and returns
+// everything sorted by (file, line, col, rule).
+func Run(pkgs []*Package, rules []Rule) []Finding {
+	var out []Finding
+	for _, p := range pkgs {
+		for _, r := range rules {
+			for _, f := range r.Check(p) {
+				if !p.suppressed(f) {
+					out = append(out, f)
+				}
+			}
+		}
+		out = append(out, p.malformedIgnores()...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Rule < b.Rule
+	})
+	return out
+}
+
+// Write renders findings one per line. JSON mode emits one JSON object
+// per line (the -json contract of cmd/sdclint) so downstream tooling
+// can stream-parse results.
+func Write(w io.Writer, findings []Finding, asJSON bool) error {
+	for _, f := range findings {
+		if asJSON {
+			b, err := json.Marshal(f)
+			if err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s\n", b); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%s\n", f); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,167 @@
+package lint_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sdcmd/internal/lint"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// loadFixture lints the fixture tree under testdata/src with the
+// default rules.
+func loadFixture(t *testing.T) []lint.Finding {
+	t.Helper()
+	pkgs, err := lint.Load(filepath.Join("testdata", "src"), []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no fixture packages loaded")
+	}
+	return lint.Run(pkgs, lint.DefaultRules())
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run go test ./internal/lint -update to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("findings diverge from %s:\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
+
+func TestGoldenText(t *testing.T) {
+	findings := loadFixture(t)
+	var buf bytes.Buffer
+	if err := lint.Write(&buf, findings, false); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "findings.txt", buf.Bytes())
+}
+
+func TestGoldenJSON(t *testing.T) {
+	findings := loadFixture(t)
+	var buf bytes.Buffer
+	if err := lint.Write(&buf, findings, true); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "findings.json", buf.Bytes())
+}
+
+func TestEveryRuleFires(t *testing.T) {
+	findings := loadFixture(t)
+	fired := map[string]bool{}
+	for _, f := range findings {
+		fired[f.Rule] = true
+	}
+	for _, r := range lint.DefaultRules() {
+		if !fired[r.Name()] {
+			t.Errorf("rule %s produced no fixture finding", r.Name())
+		}
+	}
+	if !fired["ignore-directive"] {
+		t.Error("malformed //lint:ignore directive was not reported")
+	}
+}
+
+func TestIgnoreDirectivesSuppress(t *testing.T) {
+	// The suppressed fixtures repeat every violation under a
+	// //lint:ignore directive; none of their lines may be reported
+	// (except bad_directive.go, whose directive is malformed on
+	// purpose).
+	findings := loadFixture(t)
+	for _, f := range findings {
+		base := filepath.Base(f.File)
+		if base == "suppressed.go" || base == "ignored_atomic.go" {
+			t.Errorf("suppressed violation still reported: %s", f)
+		}
+	}
+}
+
+func TestMalformedDirectiveIsNotHonored(t *testing.T) {
+	findings := loadFixture(t)
+	var sawDirective, sawCompare bool
+	for _, f := range findings {
+		if filepath.Base(f.File) != "bad_directive.go" {
+			continue
+		}
+		switch f.Rule {
+		case "ignore-directive":
+			sawDirective = true
+		case "float-compare":
+			sawCompare = true
+		}
+	}
+	if !sawDirective {
+		t.Error("malformed directive not reported")
+	}
+	if !sawCompare {
+		t.Error("malformed directive wrongly suppressed the finding below it")
+	}
+}
+
+func TestAllowListsHold(t *testing.T) {
+	// pool.go's goroutine, cs.go's atomics, main's panic and the
+	// example's dropped error are all legal: no findings in those
+	// files.
+	findings := loadFixture(t)
+	for _, f := range findings {
+		switch f.File {
+		case "internal/strategy/pool.go", "internal/strategy/cs.go", "examples/demo/main.go":
+			t.Errorf("allow-listed file reported: %s", f)
+		}
+		if f.File == "cmd/tool/main.go" && f.Rule == "no-panic" {
+			t.Errorf("package main wrongly held to no-panic: %s", f)
+		}
+	}
+}
+
+func TestTestFilesExempt(t *testing.T) {
+	findings := loadFixture(t)
+	for _, f := range findings {
+		if strings.HasSuffix(f.File, "_test.go") {
+			t.Errorf("test file reported: %s", f)
+		}
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	f := lint.Finding{File: "a/b.go", Line: 3, Col: 7, Rule: "no-panic", Message: "boom"}
+	if got, want := f.String(), "a/b.go:3:7: no-panic: boom"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestLoadRejectsMissingDir(t *testing.T) {
+	if _, err := lint.Load(filepath.Join("testdata", "src"), []string{"no/such/dir"}); err == nil {
+		t.Error("missing pattern directory accepted")
+	}
+}
+
+func TestLoadSingleDir(t *testing.T) {
+	pkgs, err := lint.Load(filepath.Join("testdata", "src"), []string{"internal/app"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Rel != "internal/app" || pkgs[0].Name != "app" {
+		t.Fatalf("unexpected packages: %+v", pkgs)
+	}
+}

@@ -1,0 +1,10 @@
+// Command tool is a lint fixture: package main is exempt from no-panic
+// but NOT from unchecked-error.
+package main
+
+func mightFail() error { return nil }
+
+func main() {
+	mightFail() // want unchecked-error
+	panic("CLIs may panic; the process boundary converts it to exit 2")
+}

@@ -1,0 +1,9 @@
+// Command demo is a lint fixture: examples/ is exempt from
+// unchecked-error (demo code favors brevity).
+package main
+
+func mightFail() error { return nil }
+
+func main() {
+	mightFail() // legal: examples are exempt
+}

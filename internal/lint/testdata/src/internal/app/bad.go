@@ -1,0 +1,49 @@
+// Package app is a lint fixture: each discipline violation below must
+// be reported by the default rule set (see the golden file).
+package app
+
+// mightFail stands in for any error-returning operation.
+func mightFail() error { return nil }
+
+// Spawn violates pool-only-go: raw goroutine outside strategy.Pool.
+func Spawn(done chan struct{}) {
+	go func() { // want pool-only-go
+		close(done)
+	}()
+}
+
+// Compare violates float-compare twice, and shows the two legal
+// IEEE-exact idioms (zero sentinel, NaN self-test) that must NOT fire.
+func Compare(a, b float64) bool {
+	if a == b { // want float-compare
+		return true
+	}
+	if a != b+1 { // want float-compare
+		return false
+	}
+	if a == 0 { // legal: zero is the unset sentinel
+		return false
+	}
+	if a != a { // legal: NaN self-test
+		return false
+	}
+	return false
+}
+
+// Drop violates unchecked-error; the explicit discard is legal.
+func Drop() {
+	mightFail() // want unchecked-error
+	_ = mightFail()
+}
+
+// Explode violates no-panic.
+func Explode() {
+	panic("boom") // want no-panic
+}
+
+// MustExplode is a Must* constructor: its panic is legal.
+func MustExplode() {
+	if err := mightFail(); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,6 @@
+package app
+
+import "sync/atomic" // want cs-only-atomics
+
+// Counter uses the contraband import so the file typechecks cleanly.
+func Counter(n *int64) { atomic.AddInt64(n, 1) }

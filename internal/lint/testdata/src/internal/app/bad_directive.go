@@ -1,0 +1,10 @@
+package app
+
+// Malformed directives (missing reason) are reported and never honored.
+
+// CompareUnjustified's directive lacks a reason: the directive itself
+// is a finding and the float comparison still fires.
+func CompareUnjustified(a, b float64) bool {
+	//lint:ignore float-compare
+	return a == b // want float-compare (directive above is malformed)
+}

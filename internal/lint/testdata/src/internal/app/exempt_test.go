@@ -1,0 +1,12 @@
+package app
+
+// Test files are exempt from every rule: none of these may appear in
+// the golden findings.
+
+func compareInTest(a, b float64) bool {
+	return a == b
+}
+
+func dropInTest() {
+	mightFail()
+}

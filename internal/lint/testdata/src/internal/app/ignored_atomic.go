@@ -1,0 +1,9 @@
+package app
+
+import (
+	//lint:ignore cs-only-atomics fixture proves import suppression works
+	"sync/atomic"
+)
+
+// Load uses the suppressed import.
+func Load(n *int64) int64 { return atomic.LoadInt64(n) }

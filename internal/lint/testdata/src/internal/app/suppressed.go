@@ -1,0 +1,30 @@
+package app
+
+// Every violation in this file carries a //lint:ignore directive with a
+// reason; none may appear in the golden findings.
+
+// SpawnSuppressed is the suppressed twin of Spawn.
+func SpawnSuppressed(done chan struct{}) {
+	//lint:ignore pool-only-go fixture proves suppression works
+	go func() {
+		close(done)
+	}()
+}
+
+// CompareSuppressed is the suppressed twin of Compare, with the
+// directive trailing on the same line.
+func CompareSuppressed(a, b float64) bool {
+	return a == b //lint:ignore float-compare fixture proves same-line suppression
+}
+
+// DropSuppressed is the suppressed twin of Drop.
+func DropSuppressed() {
+	//lint:ignore unchecked-error fixture proves suppression works
+	mightFail()
+}
+
+// ExplodeSuppressed is the suppressed twin of Explode.
+func ExplodeSuppressed() {
+	//lint:ignore no-panic fixture proves suppression works
+	panic("boom")
+}

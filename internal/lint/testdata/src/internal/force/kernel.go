@@ -1,0 +1,23 @@
+// Package force is a lint fixture for the kernel-determinism rule:
+// internal/force is a kernel package, so wall-clock and RNG use must be
+// reported.
+package force
+
+import (
+	"math/rand" // want kernel-determinism
+	"time"
+)
+
+// Jitter breaks determinism with the RNG.
+func Jitter(rng *rand.Rand) float64 { return rng.Float64() }
+
+// Stamp breaks determinism with the wall clock.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want kernel-determinism
+}
+
+// StampSuppressed shows an ignored wall-clock read.
+func StampSuppressed() int64 {
+	//lint:ignore kernel-determinism fixture proves suppression works
+	return time.Now().UnixNano()
+}

@@ -367,6 +367,7 @@ func (s *Simulator) PotentialEnergy() float64 {
 	if err != nil {
 		// The engine was validated at construction; an error here means
 		// the system was mutated inconsistently — surface loudly.
+		//lint:ignore no-panic invariant violation after construction-time validation, not a recoverable condition
 		panic(err)
 	}
 	return total

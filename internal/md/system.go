@@ -63,13 +63,20 @@ func NewSystem(bx box.Box, n int, mass float64) (*System, error) {
 	}, nil
 }
 
+// MustNewSystem is NewSystem for arguments known valid by construction;
+// it panics on error.
+func MustNewSystem(bx box.Box, n int, mass float64) *System {
+	s, err := NewSystem(bx, n, mass)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
 // FromLattice builds a system from a crystal configuration with iron's
 // mass (the paper's material).
 func FromLattice(cfg *lattice.Config) *System {
-	s, err := NewSystem(cfg.Box, cfg.N(), FeMass)
-	if err != nil {
-		panic(err) // unreachable: cfg.N() >= 0, FeMass > 0
-	}
+	s := MustNewSystem(cfg.Box, cfg.N(), FeMass) // cfg.N() >= 0, FeMass > 0
 	copy(s.Pos, cfg.Pos)
 	return s
 }

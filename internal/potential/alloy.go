@@ -131,14 +131,20 @@ func FeCrParams() (fe, cr SpeciesParams) {
 	return fe, cr
 }
 
+// MustNewBinaryAlloy is NewBinaryAlloy for parameters known valid at
+// compile time; it panics on error.
+func MustNewBinaryAlloy(a, b SpeciesParams, smoothOn, cut float64) *BinaryAlloy {
+	al, err := NewBinaryAlloy(a, b, smoothOn, cut)
+	if err != nil {
+		panic(err)
+	}
+	return al
+}
+
 // DefaultFeCr builds the standard demo alloy.
 func DefaultFeCr() *BinaryAlloy {
 	fe, cr := FeCrParams()
-	al, err := NewBinaryAlloy(fe, cr, 3.0, 3.5)
-	if err != nil {
-		panic(err) // unreachable: constants are valid
-	}
-	return al
+	return MustNewBinaryAlloy(fe, cr, 3.0, 3.5)
 }
 
 // Name implements AlloyEAM.

@@ -36,14 +36,20 @@ func NewLennardJones(eps, sigma, smoothOn, cut float64) (*LennardJones, error) {
 	return &LennardJones{Epsilon: eps, Sigma: sigma, SmoothOn: smoothOn, Cut: cut, smooth: sm}, nil
 }
 
+// MustNewLennardJones is NewLennardJones for parameters known valid at
+// compile time; it panics on error.
+func MustNewLennardJones(eps, sigma, smoothOn, cut float64) *LennardJones {
+	lj, err := NewLennardJones(eps, sigma, smoothOn, cut)
+	if err != nil {
+		panic(err)
+	}
+	return lj
+}
+
 // DefaultLJ returns a reduced-units LJ (ε=σ=1) with the conventional
 // 2.5σ cutoff, tapered from 2.0σ.
 func DefaultLJ() *LennardJones {
-	lj, err := NewLennardJones(1, 1, 2.0, 2.5)
-	if err != nil {
-		panic(err) // unreachable: constants are valid
-	}
-	return lj
+	return MustNewLennardJones(1, 1, 2.0, 2.5)
 }
 
 // Name implements Pair.

@@ -87,6 +87,7 @@ func SpatialOrder(grid *neighbor.CellGrid) Permutation {
 	if err != nil {
 		// The grid bins each atom exactly once, so this is unreachable
 		// unless the grid is corrupt — a programmer error.
+		//lint:ignore no-panic corrupt cell grid is a programmer error, not a recoverable condition
 		panic(err)
 	}
 	return p
@@ -104,7 +105,8 @@ func Scramble(n int, seed int64) Permutation {
 	rng.Shuffle(n, func(i, j int) { newToOld[i], newToOld[j] = newToOld[j], newToOld[i] })
 	p, err := FromNewToOld(newToOld)
 	if err != nil {
-		panic(err) // unreachable: shuffle of identity is a bijection
+		//lint:ignore no-panic unreachable: a shuffle of the identity is a bijection
+		panic(err)
 	}
 	return p
 }
@@ -112,6 +114,7 @@ func Scramble(n int, seed int64) Permutation {
 // ApplyVec3 returns the reordered copy dst[new] = src[NewToOld[new]].
 func (p Permutation) ApplyVec3(src []vec.Vec3) []vec.Vec3 {
 	if len(src) != p.N() {
+		//lint:ignore no-panic length-mismatch precondition: programmer error, documented contract
 		panic(fmt.Sprintf("reorder: ApplyVec3 length %d != permutation %d", len(src), p.N()))
 	}
 	dst := make([]vec.Vec3, len(src))
@@ -124,6 +127,7 @@ func (p Permutation) ApplyVec3(src []vec.Vec3) []vec.Vec3 {
 // ApplyFloat64 returns the reordered copy of a per-atom scalar array.
 func (p Permutation) ApplyFloat64(src []float64) []float64 {
 	if len(src) != p.N() {
+		//lint:ignore no-panic length-mismatch precondition: programmer error, documented contract
 		panic(fmt.Sprintf("reorder: ApplyFloat64 length %d != permutation %d", len(src), p.N()))
 	}
 	dst := make([]float64, len(src))
@@ -136,6 +140,7 @@ func (p Permutation) ApplyFloat64(src []float64) []float64 {
 // UnapplyVec3 maps a reordered array back to the original order.
 func (p Permutation) UnapplyVec3(src []vec.Vec3) []vec.Vec3 {
 	if len(src) != p.N() {
+		//lint:ignore no-panic length-mismatch precondition: programmer error, documented contract
 		panic(fmt.Sprintf("reorder: UnapplyVec3 length %d != permutation %d", len(src), p.N()))
 	}
 	dst := make([]vec.Vec3, len(src))
@@ -151,6 +156,7 @@ func (p Permutation) UnapplyVec3(src []vec.Vec3) []vec.Vec3 {
 // renaming. Neighbor slices stay sorted.
 func (p Permutation) RemapList(l *neighbor.List) *neighbor.List {
 	if l.N() != p.N() {
+		//lint:ignore no-panic length-mismatch precondition: programmer error, documented contract
 		panic(fmt.Sprintf("reorder: RemapList atoms %d != permutation %d", l.N(), p.N()))
 	}
 	n := l.N()

@@ -1,11 +1,19 @@
 package strategy
 
 import (
+	"errors"
 	"fmt"
 
 	"sdcmd/internal/core"
 	"sdcmd/internal/neighbor"
 )
+
+// ErrNeedHalfList is returned when a verifier is handed a full neighbor
+// list: the SDC write-set reasoning (atom i plus its half-list
+// neighbors) only holds for half lists, so auditing a full list would
+// silently prove the wrong theorem. Callers that derive full lists
+// (e.g. RC) must audit the half list they started from.
+var ErrNeedHalfList = errors.New("strategy: audit expects a half neighbor list")
 
 // Conflict records two workers writing one array slot inside the same
 // color phase — exactly the race the SDC coloring is supposed to make
@@ -37,7 +45,7 @@ func AuditSDCSchedule(dec *core.Decomposition, list *neighbor.List, threads int)
 		return nil, fmt.Errorf("strategy: audit needs a decomposition and a list")
 	}
 	if !list.Half {
-		return nil, fmt.Errorf("strategy: audit expects a half list")
+		return nil, ErrNeedHalfList
 	}
 	if threads < 1 {
 		return nil, fmt.Errorf("strategy: audit threads %d must be >= 1", threads)

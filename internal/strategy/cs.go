@@ -25,6 +25,10 @@ func (r *csReducer) Kind() Kind    { return CS }
 func (r *csReducer) Threads() int  { return r.pool.Threads() }
 func (r *csReducer) PairWork() int { return r.list.Pairs() }
 
+// WriteShape implements WriteShaper: every pair write happens inside
+// the critical section, so overlapping slots are legal by construction.
+func (r *csReducer) WriteShape() WriteShape { return WriteSyncedPair }
+
 func (r *csReducer) SweepScalar(out []float64, visit ScalarVisit) {
 	r.pool.ParallelFor(r.list.N(), func(start, end, _ int) {
 		for i := start; i < end; i++ {
@@ -73,6 +77,10 @@ type atomicReducer struct {
 func (r *atomicReducer) Kind() Kind    { return AtomicCS }
 func (r *atomicReducer) Threads() int  { return r.pool.Threads() }
 func (r *atomicReducer) PairWork() int { return r.list.Pairs() }
+
+// WriteShape implements WriteShaper: every accumulation is a CAS loop,
+// so overlapping slots are legal by construction.
+func (r *atomicReducer) WriteShape() WriteShape { return WriteSyncedPair }
 
 // atomicAddFloat64 adds v to *addr with a CAS loop.
 func atomicAddFloat64(addr *float64, v float64) {

@@ -10,6 +10,7 @@ package strategy
 import (
 	"fmt"
 	"sync"
+	//lint:ignore cs-only-atomics the dynamic-scheduling work counter is pool infrastructure, not a reduction strategy
 	"sync/atomic"
 )
 

@@ -23,6 +23,10 @@ func (r *rcReducer) Threads() int { return r.pool.Threads() }
 // PairWork is the doubled pair count: RC's defining cost.
 func (r *rcReducer) PairWork() int { return r.full.Pairs() }
 
+// WriteShape implements WriteShaper: each visit contributes only to
+// out[i], and the ParallelFor blocks partition i across workers.
+func (r *rcReducer) WriteShape() WriteShape { return WriteOwnerOnly }
+
 // FullListBytes reports the extra neighbor-list storage RC carries
 // beyond the half list.
 func (r *rcReducer) FullListBytes() int {

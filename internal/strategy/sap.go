@@ -30,6 +30,10 @@ func (r *sapReducer) Kind() Kind    { return SAP }
 func (r *sapReducer) Threads() int  { return r.pool.Threads() }
 func (r *sapReducer) PairWork() int { return r.list.Pairs() }
 
+// WriteShape implements WriteShaper: visits write thread-private
+// copies; the merge into the shared array is under the mutex.
+func (r *sapReducer) WriteShape() WriteShape { return WritePrivatePair }
+
 // PrivateBytes reports the extra memory SAP holds for privatized
 // copies; grows linearly with threads (§I class-2 disadvantage).
 func (r *sapReducer) PrivateBytes() int {

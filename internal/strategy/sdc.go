@@ -19,11 +19,28 @@ type sdcReducer struct {
 	list *neighbor.List
 	pool *Pool
 	dec  *core.Decomposition
+	// phaseHook, when set (by CheckedReducer), runs serially after each
+	// color's pool barrier.
+	phaseHook func()
 }
 
 func (r *sdcReducer) Kind() Kind    { return SDC }
 func (r *sdcReducer) Threads() int  { return r.pool.Threads() }
 func (r *sdcReducer) PairWork() int { return r.list.Pairs() }
+
+// WriteShape implements WriteShaper: SDC workers write out[i] and
+// out[j] with no synchronization — the coloring is the only guarantee,
+// which is exactly what the dynamic check verifies.
+func (r *sdcReducer) WriteShape() WriteShape { return WriteSharedPair }
+
+func (r *sdcReducer) setPhaseHook(h func()) { r.phaseHook = h }
+
+// barrier runs the phase hook after a color's pool join.
+func (r *sdcReducer) barrier() {
+	if r.phaseHook != nil {
+		r.phaseHook()
+	}
+}
 
 // Decomposition exposes the coloring for diagnostics.
 func (r *sdcReducer) Decomposition() *core.Decomposition { return r.dec }
@@ -43,6 +60,7 @@ func (r *sdcReducer) SweepScalar(out []float64, visit ScalarVisit) {
 		})
 		// Pool barrier here: the next color starts only when every
 		// worker finished this one (paper §II.B step 3).
+		r.barrier()
 	}
 }
 
@@ -63,6 +81,7 @@ func (r *sdcReducer) SweepVector(out []vec.Vec3, visit VectorVisit) {
 				}
 			}
 		})
+		r.barrier()
 	}
 }
 

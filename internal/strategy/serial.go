@@ -17,6 +17,10 @@ func (r *serialReducer) Kind() Kind    { return Serial }
 func (r *serialReducer) Threads() int  { return 1 }
 func (r *serialReducer) PairWork() int { return r.list.Pairs() }
 
+// WriteShape implements WriteShaper: the sequential sweep writes both
+// slots unsynchronized; with one worker no overlap can ever conflict.
+func (r *serialReducer) WriteShape() WriteShape { return WriteSharedPair }
+
 func (r *serialReducer) SweepScalar(out []float64, visit ScalarVisit) {
 	n := r.list.N()
 	for i := 0; i < n; i++ {

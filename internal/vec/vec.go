@@ -174,6 +174,7 @@ func MaxNorm(vs []Vec3) float64 {
 // same length; it panics otherwise (programmer error).
 func AXPY(dst []Vec3, s float64, src []Vec3) {
 	if len(dst) != len(src) {
+		//lint:ignore no-panic length-mismatch precondition: programmer error, documented contract
 		panic(fmt.Sprintf("vec: AXPY length mismatch %d != %d", len(dst), len(src)))
 	}
 	for i := range dst {

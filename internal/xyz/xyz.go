@@ -72,16 +72,19 @@ func WriteXYZ(w io.Writer, s *Snapshot) error {
 	if hasVel {
 		props += ":vel:R:3"
 	}
-	fmt.Fprintf(bw, "%d\n", len(s.Pos))
-	fmt.Fprintf(bw, "Lattice=\"%.10g 0 0 0 %.10g 0 0 0 %.10g\" Properties=%s Step=%d Comment=%q\n",
+	// bufio.Writer errors are sticky: later writes no-op and Flush
+	// reports the first failure, so per-line errors can be discarded.
+	printf := func(format string, args ...any) { _, _ = fmt.Fprintf(bw, format, args...) }
+	printf("%d\n", len(s.Pos))
+	printf("Lattice=\"%.10g 0 0 0 %.10g 0 0 0 %.10g\" Properties=%s Step=%d Comment=%q\n",
 		l[0], l[1], l[2], props, s.Step, s.Comment)
 	for i, p := range s.Pos {
 		if hasVel {
 			v := s.Vel[i]
-			fmt.Fprintf(bw, "%s %.10g %.10g %.10g %.10g %.10g %.10g\n",
+			printf("%s %.10g %.10g %.10g %.10g %.10g %.10g\n",
 				s.Element, p[0], p[1], p[2], v[0], v[1], v[2])
 		} else {
-			fmt.Fprintf(bw, "%s %.10g %.10g %.10g\n", s.Element, p[0], p[1], p[2])
+			printf("%s %.10g %.10g %.10g\n", s.Element, p[0], p[1], p[2])
 		}
 	}
 	return bw.Flush()

@@ -300,6 +300,11 @@ type ExperimentOptions struct {
 	Threads []int
 	// CSV switches the output to machine-readable long-form CSV.
 	CSV bool
+	// Check runs the §II.B correctness pass first — every strategy's
+	// real sweeps under the dynamic write-set check plus the static SDC
+	// schedule audit — and aborts if it fails; measured-mode sweeps of
+	// the experiment itself also run checked.
+	Check bool
 }
 
 // RunExperiment regenerates one of the paper's evaluation artifacts —
@@ -322,6 +327,22 @@ func RunExperiment(name string, o ExperimentOptions) error {
 		Threads:       o.Threads,
 		MeasuredCells: o.MeasuredCells,
 		MeasuredSteps: o.MeasuredSteps,
+		Check:         o.Check,
+	}
+	if o.Check {
+		v, err := harness.VerifyStrategies(opts)
+		if err != nil {
+			return err
+		}
+		if err := v.Render(o.Out); err != nil {
+			return err
+		}
+		if v.Failed() {
+			return fmt.Errorf("sdcmd: strategy verification failed — see the report above")
+		}
+		if _, err := fmt.Fprintln(o.Out); err != nil {
+			return err
+		}
 	}
 	if o.CSV {
 		return harness.RunCSV(name, opts, o.Out)
@@ -332,35 +353,34 @@ func RunExperiment(name string, o ExperimentOptions) error {
 		if err != nil {
 			return err
 		}
-		res.Render(o.Out)
+		return res.Render(o.Out)
 	case "fig9":
 		res, err := harness.RunFig9(opts)
 		if err != nil {
 			return err
 		}
-		res.Render(o.Out)
+		return res.Render(o.Out)
 	case "reorder":
 		res, err := harness.RunReorder(opts)
 		if err != nil {
 			return err
 		}
-		res.Render(o.Out)
+		return res.Render(o.Out)
 	case "numa":
 		res, err := harness.RunNUMA(opts)
 		if err != nil {
 			return err
 		}
-		res.Render(o.Out)
+		return res.Render(o.Out)
 	case "cluster":
 		res, err := harness.RunCluster(opts)
 		if err != nil {
 			return err
 		}
-		res.Render(o.Out)
+		return res.Render(o.Out)
 	default:
 		return fmt.Errorf("sdcmd: unknown experiment %q (want table1, fig9, reorder, numa or cluster)", name)
 	}
-	return nil
 }
 
 // Strategies lists the supported strategy names.
