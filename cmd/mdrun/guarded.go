@@ -1,0 +1,142 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"sdcmd"
+)
+
+// guardedArgs carries the parsed flags into the supervised code path.
+type guardedArgs struct {
+	cells, steps               int
+	temp, dt                   float64
+	strat                      string
+	threads, dim               int
+	seed                       int64
+	johnson                    bool
+	thermostat, jitter         float64
+	every                      int
+	xyzPath, logPath, ckptPath string
+	ckptEvery                  int
+	resume                     bool
+	maxRetries, checkEvery     int
+	deadline                   time.Duration
+	guardLog                   string
+	restorePath                string
+}
+
+// runGuarded drives a simulation under the fault-tolerant supervisor.
+// With -resume, -steps is the absolute step target: the run continues
+// from the checkpoint's step up to it, bit-for-bit identical to a run
+// that was never interrupted.
+func runGuarded(a guardedArgs) (retErr error) {
+	if a.restorePath != "" {
+		return fmt.Errorf("-restore is the unguarded resume; with -guard use -resume -checkpoint <path>")
+	}
+	if a.ckptEvery > 0 && a.ckptPath == "" {
+		return fmt.Errorf("-checkpoint-every needs -checkpoint <path>")
+	}
+	if a.resume && a.ckptPath == "" {
+		return fmt.Errorf("-resume needs -checkpoint <path>")
+	}
+	if a.logPath != "" {
+		return fmt.Errorf("-log is not supported under -guard (use -guard-log for the event stream)")
+	}
+
+	opts := sdcmd.GuardOptions{
+		SimOptions: sdcmd.SimOptions{
+			Cells:            a.cells,
+			Temperature:      a.temp,
+			Seed:             a.seed,
+			Strategy:         a.strat,
+			Threads:          a.threads,
+			Dim:              a.dim,
+			Dt:               a.dt,
+			Johnson:          a.johnson,
+			ThermostatTarget: a.thermostat,
+			Jitter:           a.jitter,
+		},
+		CheckEvery:      a.checkEvery,
+		MaxRetries:      a.maxRetries,
+		CheckpointPath:  a.ckptPath,
+		CheckpointEvery: a.ckptEvery,
+		StepDeadline:    a.deadline,
+	}
+	if a.guardLog != "" {
+		f, err := os.Create(a.guardLog)
+		if err != nil {
+			return err
+		}
+		defer closeKeep(f, &retErr)
+		opts.EventWriter = f
+	}
+
+	var sim *sdcmd.GuardedSimulation
+	var err error
+	if a.resume {
+		sim, err = sdcmd.ResumeGuardedSimulation(a.ckptPath, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("resumed from %s at step %d\n", a.ckptPath, sim.StepCount())
+	} else if sim, err = sdcmd.NewGuardedSimulation(opts); err != nil {
+		return err
+	}
+	defer sim.Close()
+
+	var xyzFile *os.File
+	if a.xyzPath != "" {
+		f, err := os.Create(a.xyzPath)
+		if err != nil {
+			return err
+		}
+		xyzFile = f
+		defer closeKeep(xyzFile, &retErr)
+	}
+
+	fmt.Printf("mdrun: %d atoms, strategy=%s threads=%d dt=%g ps (guarded)\n",
+		sim.N(), a.strat, a.threads, a.dt)
+	report := func() error {
+		fmt.Printf("step %6d  T=%8.2f K  KE=%12.4f eV  PE=%14.4f eV  E=%14.4f eV\n",
+			sim.StepCount(), sim.Temperature(), sim.KineticEnergy(), sim.PotentialEnergy(), sim.TotalEnergy())
+		if xyzFile != nil {
+			return sim.WriteXYZ(xyzFile, fmt.Sprintf("step %d", sim.StepCount()))
+		}
+		return nil
+	}
+	if err := report(); err != nil {
+		return err
+	}
+	// -steps is absolute; a fresh run starts at 0, a resumed one at the
+	// checkpoint step, so the remaining work is the difference.
+	for sim.StepCount() < a.steps {
+		chunk := a.every
+		if left := a.steps - sim.StepCount(); chunk > left {
+			chunk = left
+		}
+		if err := sim.Run(chunk); err != nil {
+			return err
+		}
+		if err := report(); err != nil {
+			return err
+		}
+	}
+	if a.ckptPath != "" {
+		if err := sim.Checkpoint(); err != nil {
+			return err
+		}
+		fmt.Printf("checkpoint written to %s\n", a.ckptPath)
+	}
+	if r := sim.Retries(); r > 0 {
+		fmt.Printf("recovered from %d fault(s); event log:\n", r)
+		for _, ev := range sim.Events() {
+			fmt.Printf("  step %6d  %-16s %s\n", ev.Step, ev.Kind, ev.Detail)
+		}
+	}
+	if err := sim.StreamError(); err != nil {
+		return fmt.Errorf("guard event stream: %w", err)
+	}
+	return nil
+}

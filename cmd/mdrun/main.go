@@ -8,6 +8,14 @@
 //	mdrun -cells 8 -steps 100 -xyz traj.xyz -every 10
 //	mdrun -cells 8 -steps 50 -checkpoint state.sdck
 //	mdrun -restore state.sdck -steps 50
+//
+// With -guard (implied by -checkpoint-every and -resume) the run is
+// supervised: invariants are checked as it goes, faults roll back to
+// the last good snapshot under a degradation ladder, and checkpoints
+// are written atomically so an interrupted run resumes bit-for-bit:
+//
+//	mdrun -cells 8 -steps 1000 -checkpoint state.sdck -checkpoint-every 100
+//	mdrun -resume -checkpoint state.sdck -steps 2000   # continue to step 2000
 package main
 
 import (
@@ -52,11 +60,30 @@ func run(args []string) (retErr error) {
 	ckptPath := fs.String("checkpoint", "", "write a final binary checkpoint here")
 	restorePath := fs.String("restore", "", "resume from a checkpoint instead of building a lattice")
 	logPath := fs.String("log", "", "write a CSV thermodynamics log here")
+	guardOn := fs.Bool("guard", false, "run under the fault-tolerant supervisor")
+	ckptEvery := fs.Int("checkpoint-every", 0, "atomic checkpoint interval in steps (implies -guard, needs -checkpoint)")
+	resume := fs.Bool("resume", false, "resume a guarded run from -checkpoint; -steps is the absolute target")
+	maxRetries := fs.Int("max-retries", 0, "supervisor rollback budget (0 = default 3)")
+	checkEvery := fs.Int("check-every", 0, "supervisor invariant-check interval in steps (0 = default 10)")
+	deadline := fs.Duration("deadline", 0, "watchdog deadline per supervised step chunk (0 = off)")
+	guardLog := fs.String("guard-log", "", "stream supervisor events as JSON lines to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *steps < 0 || *every < 1 {
 		return fmt.Errorf("steps must be >= 0 and every >= 1")
+	}
+	if *guardOn || *ckptEvery > 0 || *resume {
+		return runGuarded(guardedArgs{
+			cells: *cells, steps: *steps, temp: *temp, strat: *strat,
+			threads: *threads, dim: *dim, dt: *dt, seed: *seed,
+			johnson: *johnson, thermostat: *thermostat, jitter: *jitter,
+			every: *every, xyzPath: *xyzPath, logPath: *logPath,
+			ckptPath: *ckptPath, ckptEvery: *ckptEvery, resume: *resume,
+			maxRetries: *maxRetries, checkEvery: *checkEvery,
+			deadline: *deadline, guardLog: *guardLog,
+			restorePath: *restorePath,
+		})
 	}
 
 	simOpts := sdcmd.SimOptions{

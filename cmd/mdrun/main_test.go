@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"testing"
@@ -53,5 +54,72 @@ func TestRunXYZAndCheckpointRoundTrip(t *testing.T) {
 func TestRunSDCParallel(t *testing.T) {
 	if err := run([]string{"-cells", "6", "-steps", "4", "-strategy", "sdc", "-threads", "2", "-every", "4"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunGuardedSmoke(t *testing.T) {
+	dir := t.TempDir()
+	evLog := filepath.Join(dir, "events.jsonl")
+	if err := run([]string{"-guard", "-cells", "4", "-steps", "10", "-every", "5",
+		"-check-every", "5", "-guard-log", evLog}); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(evLog); err != nil {
+		t.Errorf("guard log missing: %v", err)
+	} else if fi.Size() != 0 {
+		// A clean run records no transitions; any content means a fault.
+		b, _ := os.ReadFile(evLog)
+		t.Errorf("clean run produced guard events: %s", b)
+	}
+}
+
+func TestRunGuardedBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-guard", "-log", "thermo.csv"},
+		{"-checkpoint-every", "5"},                        // no -checkpoint
+		{"-resume"},                                       // no -checkpoint
+		{"-guard", "-restore", "state.sdck"},              // mixed resume styles
+		{"-resume", "-checkpoint", "does-not-exist.sdck"}, // missing file
+	}
+	for i, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("case %d accepted: %v", i, args)
+		}
+	}
+}
+
+// TestRunGuardedResumeBitForBit is the acceptance check for atomic
+// checkpointing: a run interrupted at a checkpoint and resumed with
+// -resume must end in exactly the state of an uninterrupted twin. The
+// comparison is on raw checkpoint bytes (positions AND velocities).
+func TestRunGuardedResumeBitForBit(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.sdck")
+	part := filepath.Join(dir, "part.sdck")
+	common := []string{"-cells", "4", "-every", "10", "-checkpoint-every", "10", "-check-every", "5"}
+
+	// Uninterrupted reference: 0 -> 30.
+	if err := run(append([]string{"-steps", "30", "-checkpoint", full}, common...)); err != nil {
+		t.Fatal(err)
+	}
+	// Interrupted twin: stop at step 10 ("killed" right after the
+	// atomic checkpoint landed), then resume to the same target.
+	if err := run(append([]string{"-steps", "10", "-checkpoint", part}, common...)); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append([]string{"-resume", "-steps", "30", "-checkpoint", part}, common...)); err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+
+	a, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("resumed run's final checkpoint differs from the uninterrupted run's")
 	}
 }

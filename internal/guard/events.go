@@ -1,0 +1,74 @@
+package guard
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// EventKind classifies one supervisor transition.
+type EventKind string
+
+// The event vocabulary: every transition the supervisor can make is
+// recorded as exactly one of these.
+const (
+	// EventFault: an invariant violation or integrator error was caught.
+	EventFault EventKind = "fault"
+	// EventRollback: state was restored from a ring snapshot.
+	EventRollback EventKind = "rollback"
+	// EventHalveDt: the degradation ladder halved the timestep.
+	EventHalveDt EventKind = "halve-dt"
+	// EventDegradeStrategy: the ladder stepped the strategy down.
+	EventDegradeStrategy EventKind = "degrade-strategy"
+	// EventCheckpoint: an atomic on-disk checkpoint was written.
+	EventCheckpoint EventKind = "checkpoint"
+	// EventResume: the supervisor started from an on-disk checkpoint.
+	EventResume EventKind = "resume"
+	// EventGiveUp: the retry budget is exhausted; the fault is returned.
+	EventGiveUp EventKind = "give-up"
+	// EventInject: the deterministic injector corrupted state (tests).
+	EventInject EventKind = "inject"
+)
+
+// Event is one structured entry in the supervisor's transition log.
+type Event struct {
+	// Step is the absolute simulation step at which the event occurred.
+	Step int `json:"step"`
+	// Kind classifies the transition.
+	Kind EventKind `json:"kind"`
+	// Detail is the human-readable specifics (fault text, restored step,
+	// new Dt, new strategy, checkpoint path).
+	Detail string `json:"detail"`
+}
+
+// eventLog accumulates events in memory and optionally streams each one
+// as a JSON line (the machine-readable audit trail of a long run).
+type eventLog struct {
+	events []Event
+	w      io.Writer
+	werr   error // first stream-write failure; kept, not fatal to the run
+}
+
+// record appends an event and streams it when a writer is attached.
+func (l *eventLog) record(step int, kind EventKind, format string, args ...any) {
+	ev := Event{Step: step, Kind: kind, Detail: fmt.Sprintf(format, args...)}
+	l.events = append(l.events, ev)
+	if l.w == nil || l.werr != nil {
+		return
+	}
+	b, err := json.Marshal(ev)
+	if err == nil {
+		_, err = fmt.Fprintf(l.w, "%s\n", b)
+	}
+	if err != nil {
+		// Losing the stream must not kill a run the guard exists to
+		// save; the in-memory log stays complete and the error is
+		// surfaced via StreamError.
+		l.werr = err
+	}
+}
+
+// Events returns a copy of the in-memory log.
+func (l *eventLog) Events() []Event {
+	return append([]Event(nil), l.events...)
+}

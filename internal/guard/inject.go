@@ -1,0 +1,126 @@
+package guard
+
+import (
+	"math"
+	"time"
+
+	"sdcmd/internal/md"
+)
+
+// InjectKind selects what a fault injection corrupts.
+type InjectKind int
+
+// The injectable fault classes, one per recovery path the supervisor
+// implements.
+const (
+	// InjectForceNaN sets one force component to NaN (a corrupted sweep).
+	InjectForceNaN InjectKind = iota
+	// InjectForceSpike sets one force component to Magnitude (a silent
+	// numerical error that blows the trajectory up a few steps later).
+	InjectForceSpike
+	// InjectVelNaN sets one velocity component to NaN.
+	InjectVelNaN
+	// InjectVelSpike sets one velocity component to Magnitude (drives the
+	// kinetic-energy/temperature monitors).
+	InjectVelSpike
+	// InjectStall delays the sweep covering AtStep by Delay (drives the
+	// watchdog).
+	InjectStall
+)
+
+// String names the kind for logs.
+func (k InjectKind) String() string {
+	switch k {
+	case InjectForceNaN:
+		return "force-nan"
+	case InjectForceSpike:
+		return "force-spike"
+	case InjectVelNaN:
+		return "vel-nan"
+	case InjectVelSpike:
+		return "vel-spike"
+	case InjectStall:
+		return "stall"
+	}
+	return "unknown"
+}
+
+// Injection is one scheduled, deterministic fault. It fires exactly
+// once, at the first invariant check whose step reaches AtStep (state
+// kinds) or in the sweep covering AtStep (stall), so tests exercise
+// recovery paths reproducibly.
+type Injection struct {
+	// AtStep is the absolute step at which to fire.
+	AtStep int
+	// Kind selects the corruption.
+	Kind InjectKind
+	// Atom and Component select the corrupted slot (state kinds).
+	Atom, Component int
+	// Magnitude is the spike value for the *Spike kinds.
+	Magnitude float64
+	// Delay is the stall duration for InjectStall.
+	Delay time.Duration
+
+	fired bool
+}
+
+// Injector holds a deterministic fault schedule. The zero value (and a
+// nil *Injector) injects nothing; production runs simply never attach
+// one.
+type Injector struct {
+	faults []*Injection
+}
+
+// NewInjector builds an injector over a fault schedule.
+func NewInjector(faults ...*Injection) *Injector {
+	return &Injector{faults: faults}
+}
+
+// corrupt applies every due state-corrupting injection to sys (called
+// by the supervisor after the chunk that reached step). Returns the
+// injections that fired, for the event log.
+func (in *Injector) corrupt(sys *md.System, step int) []*Injection {
+	if in == nil {
+		return nil
+	}
+	var fired []*Injection
+	for _, f := range in.faults {
+		if f.fired || f.Kind == InjectStall || step < f.AtStep {
+			continue
+		}
+		f.fired = true
+		fired = append(fired, f)
+		if f.Atom < 0 || f.Atom >= sys.N() {
+			continue // out-of-range target: a no-op injection
+		}
+		switch f.Kind {
+		case InjectForceNaN:
+			sys.Force[f.Atom][f.Component%3] = math.NaN()
+		case InjectForceSpike:
+			sys.Force[f.Atom][f.Component%3] = f.Magnitude
+		case InjectVelNaN:
+			sys.Vel[f.Atom][f.Component%3] = math.NaN()
+		case InjectVelSpike:
+			sys.Vel[f.Atom][f.Component%3] = f.Magnitude
+		}
+	}
+	return fired
+}
+
+// stallFor returns the pending stall delay for a sweep covering steps
+// (from, from+n], consuming the injection. Zero means no stall.
+func (in *Injector) stallFor(from, n int) time.Duration {
+	if in == nil {
+		return 0
+	}
+	for _, f := range in.faults {
+		if f.fired || f.Kind != InjectStall {
+			continue
+		}
+		if f.AtStep > from && f.AtStep <= from+n {
+			f.fired = true
+			return f.Delay
+		}
+	}
+	return 0
+}

@@ -1,0 +1,49 @@
+package guard
+
+import "sdcmd/internal/xyz"
+
+// snapRing is a bounded ring of validated snapshots: only states that
+// passed the invariant checks are pushed, so the newest entry is always
+// a legitimate rollback target. Older entries are kept in case repeated
+// faults force the supervisor further back.
+type snapRing struct {
+	buf  []*xyz.Snapshot
+	head int // next write slot
+	n    int // live entries, <= len(buf)
+}
+
+func newSnapRing(size int) *snapRing {
+	return &snapRing{buf: make([]*xyz.Snapshot, size)}
+}
+
+// push stores a snapshot, evicting the oldest when full.
+func (r *snapRing) push(s *xyz.Snapshot) {
+	r.buf[r.head] = s
+	r.head = (r.head + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+}
+
+// last returns the newest snapshot, or nil when empty.
+func (r *snapRing) last() *xyz.Snapshot {
+	if r.n == 0 {
+		return nil
+	}
+	return r.buf[(r.head-1+len(r.buf))%len(r.buf)]
+}
+
+// dropLast discards the newest snapshot (used when a restored state
+// immediately faults again and the supervisor needs to reach further
+// back).
+func (r *snapRing) dropLast() {
+	if r.n == 0 {
+		return
+	}
+	r.head = (r.head - 1 + len(r.buf)) % len(r.buf)
+	r.buf[r.head] = nil
+	r.n--
+}
+
+// len returns the number of live snapshots.
+func (r *snapRing) len() int { return r.n }

@@ -1,0 +1,49 @@
+package guard
+
+import (
+	"time"
+
+	"sdcmd/internal/md"
+)
+
+// stepWithWatchdog advances sim by n steps, failing with a typed
+// watchdog Fault when the sweep exceeds deadline. stall, when positive,
+// delays the sweep first (the deterministic injection of a wedged
+// worker). The goroutines here are supervisor control plane, not worker
+// parallelism: the force loops themselves still run under the strategy
+// pool, so the SDC schedule audit is unaffected.
+//
+// On timeout the runner goroutine is still inside sim.Step mutating the
+// simulator's system; ownership of both transfers to the reaper, which
+// closes the simulator when the step finally returns (or leaks it if it
+// never does — that is what the watchdog is for). The caller must
+// abandon the simulator AND its system and rebuild from a snapshot.
+func stepWithWatchdog(sim *md.Simulator, n int, deadline, stall time.Duration, step int) error {
+	if deadline <= 0 && stall <= 0 {
+		return sim.Step(n)
+	}
+	done := make(chan error, 1)
+	go func() {
+		if stall > 0 {
+			time.Sleep(stall)
+		}
+		done <- sim.Step(n)
+	}()
+	if deadline <= 0 {
+		return <-done // stall injection without a watchdog: just slow
+	}
+	timer := time.NewTimer(deadline)
+	defer timer.Stop()
+	select {
+	case err := <-done:
+		return err
+	case <-timer.C:
+		go func() {
+			<-done
+			sim.Close()
+		}()
+		return &Fault{Monitor: "watchdog", Step: step, Atom: -1,
+			Value: deadline.Seconds(),
+			Msg:   "sweep exceeded deadline " + deadline.String() + " — stalled worker or pathological neighbor list"}
+	}
+}

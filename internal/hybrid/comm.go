@@ -13,9 +13,37 @@ package hybrid
 
 import (
 	"fmt"
+	"time"
 
 	"sdcmd/internal/vec"
 )
+
+// TimeoutError reports a communication wait that exceeded the
+// communicator's exchange timeout: the typed evidence that a peer rank
+// is wedged (deadlocked, crashed, or pathologically slow) rather than a
+// generic hang. Retrieve it with errors.As.
+type TimeoutError struct {
+	// Rank is the waiting rank.
+	Rank int
+	// Src is the peer being waited on (-1 for collectives, where the
+	// laggard is unknown).
+	Src int
+	// Tag is the expected message tag (-1 for collectives).
+	Tag int
+	// Op names the blocked operation: "recv", "allreduce" or "barrier".
+	Op string
+	// Wait is the configured timeout that expired.
+	Wait time.Duration
+}
+
+// Error formats the timeout for logs.
+func (e *TimeoutError) Error() string {
+	if e.Src >= 0 {
+		return fmt.Sprintf("hybrid: rank %d: %s from rank %d (tag %d) timed out after %v — peer wedged?",
+			e.Rank, e.Op, e.Src, e.Tag, e.Wait)
+	}
+	return fmt.Sprintf("hybrid: rank %d: %s timed out after %v — a peer is wedged", e.Rank, e.Op, e.Wait)
+}
 
 // packet is one point-to-point message.
 type packet struct {
@@ -42,6 +70,9 @@ const (
 // collective helpers. It is the stand-in for an MPI communicator.
 type Comm struct {
 	ranks int
+	// timeout bounds every blocking wait (0 = wait forever). Set once
+	// before the rank goroutines start; read-only afterwards.
+	timeout time.Duration
 	// ch[src][dst] carries packets from src to dst.
 	ch [][]chan packet
 	// pending[src][dst] holds packets received ahead of their phase
@@ -88,27 +119,55 @@ func NewComm(ranks int) (*Comm, error) {
 // Ranks returns the communicator size.
 func (c *Comm) Ranks() int { return c.ranks }
 
+// SetTimeout bounds every subsequent blocking wait (receive, allreduce,
+// barrier) by d; zero restores unbounded waits. Call before handing the
+// communicator to concurrent ranks.
+func (c *Comm) SetTimeout(d time.Duration) { c.timeout = d }
+
 // send transmits a packet from src to dst.
 func (c *Comm) send(src, dst int, p packet) {
 	c.ch[src][dst] <- p
 }
 
+// await receives from ch, bounded by the communicator timeout. mkErr
+// builds the typed error lazily (only on expiry).
+func await[T any](c *Comm, ch <-chan T, mkErr func() *TimeoutError) (T, error) {
+	if c.timeout <= 0 {
+		return <-ch, nil
+	}
+	timer := time.NewTimer(c.timeout)
+	defer timer.Stop()
+	select {
+	case v := <-ch:
+		return v, nil
+	case <-timer.C:
+		var zero T
+		return zero, mkErr()
+	}
+}
+
 // recv blocks for the next packet from src addressed to dst carrying
-// wantTag. When both x-neighbors are the same rank (R == 2) the two
-// directional packets of one phase share a channel and can arrive in
-// either logical order, so mismatching tags are stashed in a pending
+// wantTag, failing with a *TimeoutError when the communicator timeout
+// expires first. When both x-neighbors are the same rank (R == 2) the
+// two directional packets of one phase share a channel and can arrive
+// in either logical order, so mismatching tags are stashed in a pending
 // queue (read only by dst's goroutine — no locking needed).
-func (c *Comm) recv(src, dst, wantTag int) packet {
+func (c *Comm) recv(src, dst, wantTag int) (packet, error) {
 	for i, p := range c.pending[src][dst] {
 		if p.tag == wantTag {
 			c.pending[src][dst] = append(c.pending[src][dst][:i], c.pending[src][dst][i+1:]...)
-			return p
+			return p, nil
 		}
 	}
 	for {
-		p := <-c.ch[src][dst]
+		p, err := await(c, c.ch[src][dst], func() *TimeoutError {
+			return &TimeoutError{Rank: dst, Src: src, Tag: wantTag, Op: "recv", Wait: c.timeout}
+		})
+		if err != nil {
+			return packet{}, err
+		}
 		if p.tag == wantTag {
-			return p
+			return p, nil
 		}
 		if len(c.pending[src][dst]) > 8 {
 			//lint:ignore no-panic protocol invariant: at most two in-flight packets per channel; overflow means a corrupted exchange
@@ -119,57 +178,69 @@ func (c *Comm) recv(src, dst, wantTag int) packet {
 }
 
 // AllReduceSum sums one float64 across all ranks; every rank receives
-// the total. rank identifies the caller.
-func (c *Comm) AllReduceSum(rank int, v float64) float64 {
-	if c.ranks == 1 {
-		return v
-	}
-	c.gather <- v
-	if rank == 0 {
-		total := 0.0
-		for i := 0; i < c.ranks; i++ {
-			total += <-c.gather
-		}
-		for i := 0; i < c.ranks; i++ {
-			c.broadcast[i] <- total
-		}
-	}
-	return <-c.broadcast[rank]
+// the total. rank identifies the caller. A wedged peer surfaces as a
+// *TimeoutError on every healthy rank.
+func (c *Comm) AllReduceSum(rank int, v float64) (float64, error) {
+	return c.allReduce(rank, v, func(acc, x float64) float64 { return acc + x })
 }
 
 // AllReduceMax is AllReduceSum with max instead of +.
-func (c *Comm) AllReduceMax(rank int, v float64) float64 {
+func (c *Comm) AllReduceMax(rank int, v float64) (float64, error) {
+	return c.allReduce(rank, v, func(acc, x float64) float64 {
+		if x > acc {
+			return x
+		}
+		return acc
+	})
+}
+
+func (c *Comm) allReduce(rank int, v float64, combine func(acc, x float64) float64) (float64, error) {
 	if c.ranks == 1 {
-		return v
+		return v, nil
+	}
+	mkErr := func() *TimeoutError {
+		return &TimeoutError{Rank: rank, Src: -1, Tag: -1, Op: "allreduce", Wait: c.timeout}
 	}
 	c.gather <- v
 	if rank == 0 {
-		max := <-c.gather
+		acc, err := await(c, c.gather, mkErr)
+		if err != nil {
+			return 0, err
+		}
 		for i := 1; i < c.ranks; i++ {
-			if x := <-c.gather; x > max {
-				max = x
+			x, err := await(c, c.gather, mkErr)
+			if err != nil {
+				return 0, err
 			}
+			acc = combine(acc, x)
 		}
 		for i := 0; i < c.ranks; i++ {
-			c.broadcast[i] <- max
+			c.broadcast[i] <- acc
 		}
 	}
-	return <-c.broadcast[rank]
+	return await(c, c.broadcast[rank], mkErr)
 }
 
-// Barrier blocks until every rank has arrived.
-func (c *Comm) Barrier(rank int) {
+// Barrier blocks until every rank has arrived, or the communicator
+// timeout expires (a wedged peer).
+func (c *Comm) Barrier(rank int) error {
 	if c.ranks == 1 {
-		return
+		return nil
+	}
+	mkErr := func() *TimeoutError {
+		return &TimeoutError{Rank: rank, Src: -1, Tag: -1, Op: "barrier", Wait: c.timeout}
 	}
 	c.barIn <- struct{}{}
 	if rank == 0 {
 		for i := 0; i < c.ranks; i++ {
-			<-c.barIn
+			if _, err := await(c, c.barIn, mkErr); err != nil {
+				return err
+			}
 		}
 		for i := 0; i < c.ranks; i++ {
 			c.barOut[i] <- struct{}{}
 		}
 	}
-	<-c.barOut[rank]
+	_, err := await(c, c.barOut[rank], mkErr)
+	return err
 }

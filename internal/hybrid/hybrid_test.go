@@ -1,11 +1,15 @@
 package hybrid
 
 import (
+	"errors"
 	"math"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"sdcmd/internal/force"
+	"sdcmd/internal/guard"
 	"sdcmd/internal/lattice"
 	"sdcmd/internal/md"
 	"sdcmd/internal/strategy"
@@ -47,9 +51,16 @@ func TestCommCollectives(t *testing.T) {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			sums[id] = c.AllReduceSum(id, float64(id+1))
-			maxs[id] = c.AllReduceMax(id, float64((id*7)%5))
-			c.Barrier(id)
+			var err error
+			if sums[id], err = c.AllReduceSum(id, float64(id+1)); err != nil {
+				t.Errorf("rank %d sum: %v", id, err)
+			}
+			if maxs[id], err = c.AllReduceMax(id, float64((id*7)%5)); err != nil {
+				t.Errorf("rank %d max: %v", id, err)
+			}
+			if err := c.Barrier(id); err != nil {
+				t.Errorf("rank %d barrier: %v", id, err)
+			}
 		}(id)
 	}
 	wg.Wait()
@@ -65,10 +76,14 @@ func TestCommCollectives(t *testing.T) {
 
 func TestCommSingleRankCollectives(t *testing.T) {
 	c, _ := NewComm(1)
-	if c.AllReduceSum(0, 3.5) != 3.5 || c.AllReduceMax(0, 2.5) != 2.5 {
+	sum, err1 := c.AllReduceSum(0, 3.5)
+	max, err2 := c.AllReduceMax(0, 2.5)
+	if sum != 3.5 || max != 2.5 || err1 != nil || err2 != nil {
 		t.Error("single-rank collectives must be identity")
 	}
-	c.Barrier(0) // must not block
+	if err := c.Barrier(0); err != nil { // must not block
+		t.Error(err)
+	}
 }
 
 func TestNewSimulatorValidation(t *testing.T) {
@@ -327,5 +342,104 @@ func TestHybridThermostat(t *testing.T) {
 	bad2.ThermostatTarget = -5
 	if _, err := NewSimulator(sys.Box, sys.Pos, sys.Vel, bad2); err == nil {
 		t.Error("negative target accepted")
+	}
+}
+
+// TestWedgedRankTimesOut wedges one rank (it simply never participates)
+// and asserts every healthy wait fails with the typed *TimeoutError
+// instead of hanging: point-to-point receive, allreduce and barrier.
+func TestWedgedRankTimesOut(t *testing.T) {
+	c, err := NewComm(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetTimeout(50 * time.Millisecond)
+
+	// Rank 1 never sends: recv on rank 0 must time out.
+	_, err = c.recv(1, 0, tagFor(tagGhosts, sideLeft))
+	var te *TimeoutError
+	if !errors.As(err, &te) {
+		t.Fatalf("recv from wedged rank returned %v, want *TimeoutError", err)
+	}
+	if te.Rank != 0 || te.Src != 1 || te.Op != "recv" {
+		t.Errorf("timeout fields %+v: want rank 0 waiting on src 1 in recv", te)
+	}
+
+	// Rank 1 never joins the collective: rank 0's allreduce times out.
+	if _, err := c.AllReduceSum(0, 1.0); !errors.As(err, &te) {
+		t.Fatalf("allreduce with wedged peer returned %v, want *TimeoutError", err)
+	} else if te.Op != "allreduce" {
+		t.Errorf("op %q, want allreduce", te.Op)
+	}
+
+	// Same for the barrier (fresh comm: the dead allreduce left state).
+	c2, err := NewComm(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2.SetTimeout(50 * time.Millisecond)
+	if err := c2.Barrier(0); !errors.As(err, &te) {
+		t.Fatalf("barrier with wedged peer returned %v, want *TimeoutError", err)
+	} else if te.Op != "barrier" {
+		t.Errorf("op %q, want barrier", te.Op)
+	}
+}
+
+// TestExchangeTimeoutClean asserts a healthy simulation is unaffected
+// by an armed exchange timeout and that a generous timeout never fires.
+func TestExchangeTimeoutClean(t *testing.T) {
+	sys := globalSystem(t, 6, 100)
+	cfg := DefaultConfig()
+	cfg.ExchangeTimeout = 5 * time.Second
+	cfg.CheckEvery = 2
+	sim, err := NewSimulator(sys.Box, sys.Pos, sys.Vel, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+	if err := sim.Step(6); err != nil {
+		t.Fatalf("healthy run with timeout armed failed: %v", err)
+	}
+	bad := DefaultConfig()
+	bad.ExchangeTimeout = -time.Second
+	if _, err := NewSimulator(sys.Box, sys.Pos, sys.Vel, bad); err == nil {
+		t.Error("negative exchange timeout accepted")
+	}
+	bad = DefaultConfig()
+	bad.CheckEvery = -1
+	if _, err := NewSimulator(sys.Box, sys.Pos, sys.Vel, bad); err == nil {
+		t.Error("negative check interval accepted")
+	}
+}
+
+// TestCheckEveryCatchesCorruption corrupts one rank's owned state
+// between steps and asserts the per-rank invariant check converts it
+// into a typed guard fault naming the rank.
+func TestCheckEveryCatchesCorruption(t *testing.T) {
+	sys := globalSystem(t, 6, 100)
+	cfg := DefaultConfig()
+	cfg.CheckEvery = 1
+	sim, err := NewSimulator(sys.Box, sys.Pos, sys.Vel, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+	if err := sim.Step(2); err != nil {
+		t.Fatal(err)
+	}
+	sim.ranks[1].vel[0] = vec.New(math.NaN(), 0, 0)
+	err = sim.Step(1)
+	if err == nil {
+		t.Fatal("NaN velocity survived the per-rank check")
+	}
+	f, ok := guard.AsFault(err)
+	if !ok {
+		t.Fatalf("step error %v does not wrap a guard fault", err)
+	}
+	if f.Monitor != "finite-vel" || f.Atom != 0 {
+		t.Errorf("fault %+v, want finite-vel on local atom 0", f)
+	}
+	if !strings.Contains(err.Error(), "rank 1") {
+		t.Errorf("error %q does not name the corrupt rank", err)
 	}
 }

@@ -93,7 +93,7 @@ func (r *rank) wrapOwned() {
 // migrate sends owned atoms whose wrapped x now belongs to another rank
 // and receives immigrants. All-to-all: one (possibly empty) packet to
 // every other rank.
-func (r *rank) migrate() {
+func (r *rank) migrate() error {
 	R := r.comm.Ranks()
 	out := make(map[int]*packet, R-1)
 	keepG := r.gid[:0]
@@ -132,7 +132,10 @@ func (r *rank) migrate() {
 		if src == r.id {
 			continue
 		}
-		p := r.comm.recv(src, r.id, tagMigrate)
+		p, err := r.comm.recv(src, r.id, tagMigrate)
+		if err != nil {
+			return err
+		}
 		r.gid = append(r.gid, p.ids...)
 		newP = append(newP, p.vecs...)
 		newV = append(newV, p.vecs2...)
@@ -154,6 +157,7 @@ func (r *rank) migrate() {
 		sg[k], sp[k], sv[k] = r.gid[idx], r.pos[idx], r.vel[idx]
 	}
 	r.gid, r.pos, r.vel = sg, sp, sv
+	return nil
 }
 
 // exchangeGhosts (at rebuild) selects boundary atoms, ships them to the
@@ -196,8 +200,14 @@ func (r *rank) exchangeGhosts() error {
 	}
 	// Receive: from the left neighbor comes the packet it sent right,
 	// and vice versa.
-	fromLeft := r.comm.recv(r.left, r.id, tagFor(tagGhosts, sideRight))
-	fromRight := r.comm.recv(r.right, r.id, tagFor(tagGhosts, sideLeft))
+	fromLeft, err := r.comm.recv(r.left, r.id, tagFor(tagGhosts, sideRight))
+	if err != nil {
+		return err
+	}
+	fromRight, err := r.comm.recv(r.right, r.id, tagFor(tagGhosts, sideLeft))
+	if err != nil {
+		return err
+	}
 	r.recvCount[sideLeft] = len(fromLeft.ids)
 	r.recvCount[sideRight] = len(fromRight.ids)
 
@@ -223,7 +233,7 @@ func (r *rank) exchangeGhosts() error {
 
 // refreshGhostPositions (every non-rebuild step) re-sends the current
 // positions of the fixed export sets.
-func (r *rank) refreshGhostPositions() {
+func (r *rank) refreshGhostPositions() error {
 	for _, side := range []int{sideLeft, sideRight} {
 		dst := r.left
 		if side == sideRight {
@@ -236,10 +246,17 @@ func (r *rank) refreshGhostPositions() {
 		}
 		r.comm.send(r.id, dst, p)
 	}
-	fromLeft := r.comm.recv(r.left, r.id, tagFor(tagPos, sideRight))
-	fromRight := r.comm.recv(r.right, r.id, tagFor(tagPos, sideLeft))
+	fromLeft, err := r.comm.recv(r.left, r.id, tagFor(tagPos, sideRight))
+	if err != nil {
+		return err
+	}
+	fromRight, err := r.comm.recv(r.right, r.id, tagFor(tagPos, sideLeft))
+	if err != nil {
+		return err
+	}
 	copy(r.pos[r.nOwned:], fromLeft.vecs)
 	copy(r.pos[r.nOwned+len(fromLeft.vecs):], fromRight.vecs)
+	return nil
 }
 
 // rebuildStructures reconstructs the local extended box, the filtered
@@ -345,7 +362,7 @@ func (r *rank) sweepPairs(body func(i, j int32, tid int)) {
 // reverseComm ships ghost-slot scalar accumulations back to their
 // owners, which add them into their own slots; the mirror image of
 // exchangeGhosts. vals has nLocal entries; add receives (ownedIdx, v).
-func (r *rank) reverseCommScalar(vals []float64, tagBase int) {
+func (r *rank) reverseCommScalar(vals []float64, tagBase int) error {
 	offL := r.nOwned
 	offR := r.nOwned + r.recvCount[sideLeft]
 	// Return left-block accumulations to the left neighbor and
@@ -357,37 +374,51 @@ func (r *rank) reverseCommScalar(vals []float64, tagBase int) {
 	r.comm.send(r.id, r.right, pr)
 	// The left neighbor returns accumulations for the atoms this rank
 	// exported to it (sendIdx[sideLeft]), and vice versa.
-	fromLeft := r.comm.recv(r.left, r.id, tagFor(tagBase, sideRight))
-	fromRight := r.comm.recv(r.right, r.id, tagFor(tagBase, sideLeft))
+	fromLeft, err := r.comm.recv(r.left, r.id, tagFor(tagBase, sideRight))
+	if err != nil {
+		return err
+	}
+	fromRight, err := r.comm.recv(r.right, r.id, tagFor(tagBase, sideLeft))
+	if err != nil {
+		return err
+	}
 	for k, li := range r.sendIdx[sideLeft] {
 		vals[li] += fromLeft.scalars[k]
 	}
 	for k, li := range r.sendIdx[sideRight] {
 		vals[li] += fromRight.scalars[k]
 	}
+	return nil
 }
 
 // reverseCommVec is reverseCommScalar for vectors (ghost forces).
-func (r *rank) reverseCommVec(vals []vec.Vec3, tagBase int) {
+func (r *rank) reverseCommVec(vals []vec.Vec3, tagBase int) error {
 	offL := r.nOwned
 	offR := r.nOwned + r.recvCount[sideLeft]
 	pl := packet{tag: tagFor(tagBase, sideLeft), vecs: append([]vec.Vec3(nil), vals[offL:offR]...)}
 	pr := packet{tag: tagFor(tagBase, sideRight), vecs: append([]vec.Vec3(nil), vals[offR:]...)}
 	r.comm.send(r.id, r.left, pl)
 	r.comm.send(r.id, r.right, pr)
-	fromLeft := r.comm.recv(r.left, r.id, tagFor(tagBase, sideRight))
-	fromRight := r.comm.recv(r.right, r.id, tagFor(tagBase, sideLeft))
+	fromLeft, err := r.comm.recv(r.left, r.id, tagFor(tagBase, sideRight))
+	if err != nil {
+		return err
+	}
+	fromRight, err := r.comm.recv(r.right, r.id, tagFor(tagBase, sideLeft))
+	if err != nil {
+		return err
+	}
 	for k, li := range r.sendIdx[sideLeft] {
 		vals[li] = vals[li].Add(fromLeft.vecs[k])
 	}
 	for k, li := range r.sendIdx[sideRight] {
 		vals[li] = vals[li].Add(fromRight.vecs[k])
 	}
+	return nil
 }
 
 // forwardCommScalar ships owner values of the exported atoms out to the
 // ranks holding them as ghosts (F'(ρ) before the force sweep).
-func (r *rank) forwardCommScalar(vals []float64, tagBase int) {
+func (r *rank) forwardCommScalar(vals []float64, tagBase int) error {
 	for _, side := range []int{sideLeft, sideRight} {
 		dst := r.left
 		if side == sideRight {
@@ -400,14 +431,21 @@ func (r *rank) forwardCommScalar(vals []float64, tagBase int) {
 		}
 		r.comm.send(r.id, dst, p)
 	}
-	fromLeft := r.comm.recv(r.left, r.id, tagFor(tagBase, sideRight))
-	fromRight := r.comm.recv(r.right, r.id, tagFor(tagBase, sideLeft))
+	fromLeft, err := r.comm.recv(r.left, r.id, tagFor(tagBase, sideRight))
+	if err != nil {
+		return err
+	}
+	fromRight, err := r.comm.recv(r.right, r.id, tagFor(tagBase, sideLeft))
+	if err != nil {
+		return err
+	}
 	copy(vals[r.nOwned:], fromLeft.scalars)
 	copy(vals[r.nOwned+len(fromLeft.scalars):], fromRight.scalars)
+	return nil
 }
 
 // computeForces runs the distributed three-phase EAM evaluation.
-func (r *rank) computeForces() {
+func (r *rank) computeForces() error {
 	pot := r.cfg.Pot
 	cut := pot.Cutoff()
 	nLocal := len(r.pos)
@@ -426,7 +464,9 @@ func (r *rank) computeForces() {
 		r.rho[i] += phi
 		r.rho[j] += phi
 	})
-	r.reverseCommScalar(r.rho, tagRho)
+	if err := r.reverseCommScalar(r.rho, tagRho); err != nil {
+		return err
+	}
 
 	// Phase 2: embedding for owned atoms; forward comm of F'(ρ).
 	embed := 0.0
@@ -436,7 +476,9 @@ func (r *rank) computeForces() {
 		r.fp[i] = dfe
 	}
 	r.embedEnergy = embed
-	r.forwardCommScalar(r.fp, tagFp)
+	if err := r.forwardCommScalar(r.fp, tagFp); err != nil {
+		return err
+	}
 
 	// Phase 3: forces (local sweep + reverse comm of ghost forces).
 	for i := range r.frc {
@@ -457,8 +499,11 @@ func (r *rank) computeForces() {
 		r.frc[j] = r.frc[j].Sub(f)
 		pairE.add(tid, v)
 	})
-	r.reverseCommVec(r.frc, tagForce)
+	if err := r.reverseCommVec(r.frc, tagForce); err != nil {
+		return err
+	}
 	r.pairEnergy = pairE.sum()
+	return nil
 }
 
 // threads returns the per-rank worker count.

@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"sdcmd/internal/box"
+	"sdcmd/internal/guard"
 	"sdcmd/internal/md"
 	"sdcmd/internal/potential"
 	"sdcmd/internal/strategy"
@@ -36,6 +38,15 @@ type Config struct {
 	// each step with time constant ThermostatTau (the collective
 	// temperature comes from an allreduce, as a real MPI code does).
 	ThermostatTarget, ThermostatTau float64
+	// ExchangeTimeout bounds every blocking communication wait
+	// (receives, allreduces); 0 waits forever. On expiry the step fails
+	// with a typed *TimeoutError instead of hanging on a wedged rank.
+	ExchangeTimeout time.Duration
+	// CheckEvery, when > 0, validates each rank's owned positions,
+	// velocities and forces for finiteness every CheckEvery steps; a
+	// violation fails the step with a typed guard fault, so a
+	// supervisor can roll back instead of integrating garbage.
+	CheckEvery int
 }
 
 // DefaultConfig mirrors md.DefaultConfig for the hybrid engine.
@@ -85,6 +96,12 @@ func NewSimulator(gbox box.Box, pos, vel []vec.Vec3, cfg Config) (*Simulator, er
 	if cfg.Strategy == strategy.SDC && cfg.ThreadsPerRank < 1 {
 		return nil, fmt.Errorf("hybrid: threads per rank %d must be >= 1", cfg.ThreadsPerRank)
 	}
+	if cfg.ExchangeTimeout < 0 {
+		return nil, fmt.Errorf("hybrid: exchange timeout %v must be >= 0", cfg.ExchangeTimeout)
+	}
+	if cfg.CheckEvery < 0 {
+		return nil, fmt.Errorf("hybrid: check interval %d must be >= 0", cfg.CheckEvery)
+	}
 	reach := cfg.Pot.Cutoff() + cfg.Skin
 	l := gbox.Lengths()
 	if !gbox.Periodic[0] || !gbox.Periodic[1] || !gbox.Periodic[2] {
@@ -102,6 +119,7 @@ func NewSimulator(gbox box.Box, pos, vel []vec.Vec3, cfg Config) (*Simulator, er
 	if err != nil {
 		return nil, err
 	}
+	comm.SetTimeout(cfg.ExchangeTimeout)
 	s := &Simulator{cfg: cfg, comm: comm, gbox: gbox, ranks: make([]*rank, cfg.Ranks)}
 	for id := 0; id < cfg.Ranks; id++ {
 		r := &rank{
@@ -141,8 +159,7 @@ func NewSimulator(gbox box.Box, pos, vel []vec.Vec3, cfg Config) (*Simulator, er
 		if err := r.rebuildStructures(); err != nil {
 			return err
 		}
-		r.computeForces()
-		return nil
+		return r.computeForces()
 	}); err != nil {
 		s.Close()
 		return nil, err
@@ -177,26 +194,40 @@ func (s *Simulator) Step(n int) error {
 				r.pos[i] = r.pos[i].AddScaled(cfg.Dt, r.vel[i])
 			}
 			disp2 := r.maxDisplacement2()
-			if glob := r.comm.AllReduceMax(r.id, disp2); cfg.Skin <= 0 || glob > halfSkin2 {
+			glob, err := r.comm.AllReduceMax(r.id, disp2)
+			if err != nil {
+				return err
+			}
+			if cfg.Skin <= 0 || glob > halfSkin2 {
 				r.wrapOwned()
-				r.migrate()
+				if err := r.migrate(); err != nil {
+					return err
+				}
 				if err := r.exchangeGhosts(); err != nil {
 					return err
 				}
 				if err := r.rebuildStructures(); err != nil {
 					return err
 				}
-			} else {
-				r.refreshGhostPositions()
+			} else if err := r.refreshGhostPositions(); err != nil {
+				return err
 			}
-			r.computeForces()
+			if err := r.computeForces(); err != nil {
+				return err
+			}
 			for i := 0; i < r.nOwned; i++ {
 				r.vel[i] = r.vel[i].AddScaled(halfDtOverM, r.frc[i])
 			}
 			if cfg.ThermostatTarget > 0 {
 				// Global Berendsen: temperature from collective KE.
-				keGlobal := r.comm.AllReduceSum(r.id, r.kineticEnergy())
-				nGlobal := r.comm.AllReduceSum(r.id, float64(r.nOwned))
+				keGlobal, err := r.comm.AllReduceSum(r.id, r.kineticEnergy())
+				if err != nil {
+					return err
+				}
+				nGlobal, err := r.comm.AllReduceSum(r.id, float64(r.nOwned))
+				if err != nil {
+					return err
+				}
 				tCur := 2 * keGlobal / (3 * nGlobal * md.KB)
 				if tCur > 0 {
 					lambda2 := 1 + cfg.Dt/cfg.ThermostatTau*(cfg.ThermostatTarget/tCur-1)
@@ -207,6 +238,13 @@ func (s *Simulator) Step(n int) error {
 					for i := 0; i < r.nOwned; i++ {
 						r.vel[i] = r.vel[i].Scale(scale)
 					}
+				}
+			}
+			if cfg.CheckEvery > 0 && (s.step+k+1)%cfg.CheckEvery == 0 {
+				// Each rank checks its own slab; the typed fault names
+				// the local atom index and the rank via wrapping.
+				if f := guard.CheckVectors(r.pos[:r.nOwned], r.vel, r.frc[:r.nOwned], s.step+k+1); f != nil {
+					return fmt.Errorf("hybrid: rank %d: %w", r.id, f)
 				}
 			}
 		}

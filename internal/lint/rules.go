@@ -16,6 +16,10 @@ func DefaultRules() []Rule {
 		&PoolOnlyGo{Allowed: []string{
 			"internal/strategy/pool.go",
 			"internal/hybrid/",
+			// The guard watchdog's runner/reaper goroutines are
+			// supervisor control plane, not force-loop parallelism; the
+			// force sweeps they drive still run under the pool.
+			"internal/guard/watchdog.go",
 		}},
 		&CSOnlyAtomics{Allowed: []string{
 			"internal/strategy/cs.go",

@@ -681,3 +681,79 @@ func TestEquipartitionAcrossMasses(t *testing.T) {
 		t.Errorf("equipartition violated: %g vs %g eV/atom", mean0, mean1)
 	}
 }
+
+func TestConfigValidateNonFinite(t *testing.T) {
+	for i, mut := range []func(*Config){
+		func(c *Config) { c.Dt = math.NaN() },
+		func(c *Config) { c.Dt = math.Inf(1) },
+		func(c *Config) { c.Dt = math.Inf(-1) },
+		func(c *Config) { c.Skin = math.NaN() },
+		func(c *Config) { c.Skin = math.Inf(1) },
+		func(c *Config) { c.Threads = 0 },
+		func(c *Config) { c.Threads = -4 },
+	} {
+		cfg := DefaultConfig()
+		mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("mutation %d accepted by Validate", i)
+		}
+	}
+	cfg := DefaultConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+	// The same rejections must reach NewSimulator before any stepping.
+	sys := feSystem(t, 3, 100)
+	bad := DefaultConfig()
+	bad.Dt = math.NaN()
+	if _, err := NewSimulator(sys, bad); err == nil {
+		t.Error("NaN Dt accepted by NewSimulator")
+	}
+}
+
+func TestRebuildBarrierKeepsTrajectory(t *testing.T) {
+	// Forcing a rebuild mid-run must not change the physics: the same
+	// positions produce the same (within-tolerance) forces, and the
+	// subsequent trajectory matches a checkpoint-restored run exactly.
+	sys := feSystem(t, 3, 150)
+	cfg := DefaultConfig()
+	simA, err := NewSimulator(sys.Clone(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer simA.Close()
+	if err := simA.Step(7); err != nil {
+		t.Fatal(err)
+	}
+	if err := simA.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh simulator built from the post-rebuild state sees the same
+	// forces bit-for-bit (both lists were built from the same positions).
+	simB, err := NewSimulator(simA.Sys.Clone(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer simB.Close()
+	for i := range simA.Sys.Force {
+		if simA.Sys.Force[i] != simB.Sys.Force[i] {
+			t.Fatalf("force[%d] differs after rebuild barrier: %v vs %v",
+				i, simA.Sys.Force[i], simB.Sys.Force[i])
+		}
+	}
+	if err := simA.Step(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := simB.Step(5); err != nil {
+		t.Fatal(err)
+	}
+	for i := range simA.Sys.Pos {
+		if simA.Sys.Pos[i] != simB.Sys.Pos[i] {
+			t.Fatalf("trajectories diverged at atom %d", i)
+		}
+	}
+	simA.Close()
+	if err := simA.Rebuild(); err == nil {
+		t.Error("Rebuild after Close accepted")
+	}
+}

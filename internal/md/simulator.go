@@ -54,6 +54,37 @@ func DefaultConfig() Config {
 	}
 }
 
+// Validate rejects unusable numerical parameters before the first step:
+// a NaN or infinite Dt/Skin would otherwise surface only mid-run as a
+// blown-up trajectory, and Threads < 1 as a pool construction failure.
+// System-dependent checks (species length) live in NewSimulator.
+func (c *Config) Validate() error {
+	if (c.Pot == nil) == (c.Alloy == nil) {
+		return errors.New("md: exactly one of Pot and Alloy must be set")
+	}
+	if math.IsNaN(c.Dt) || math.IsInf(c.Dt, 0) {
+		return fmt.Errorf("md: timestep %g must be finite", c.Dt)
+	}
+	if !(c.Dt > 0) {
+		return fmt.Errorf("md: timestep %g must be positive", c.Dt)
+	}
+	if math.IsNaN(c.Skin) || math.IsInf(c.Skin, 0) {
+		return fmt.Errorf("md: skin %g must be finite", c.Skin)
+	}
+	if c.Skin < 0 {
+		return fmt.Errorf("md: skin %g must be non-negative", c.Skin)
+	}
+	if c.Threads < 1 {
+		return fmt.Errorf("md: threads %d must be >= 1", c.Threads)
+	}
+	if c.Thermostat != nil {
+		if err := c.Thermostat.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Thermostat adjusts velocities after each step to regulate
 // temperature. Implementations are stateful and not concurrency-safe;
 // one instance belongs to one simulator.
@@ -198,25 +229,11 @@ func NewSimulator(sys *System, cfg Config) (*Simulator, error) {
 	if sys == nil {
 		return nil, errors.New("md: nil system")
 	}
-	if (cfg.Pot == nil) == (cfg.Alloy == nil) {
-		return nil, errors.New("md: exactly one of Pot and Alloy must be set")
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	if cfg.Alloy != nil && len(cfg.Species) != sys.N() {
 		return nil, fmt.Errorf("md: %d species for %d atoms", len(cfg.Species), sys.N())
-	}
-	if !(cfg.Dt > 0) {
-		return nil, fmt.Errorf("md: timestep %g must be positive", cfg.Dt)
-	}
-	if cfg.Skin < 0 {
-		return nil, fmt.Errorf("md: skin %g must be non-negative", cfg.Skin)
-	}
-	if cfg.Threads < 1 {
-		return nil, fmt.Errorf("md: threads %d must be >= 1", cfg.Threads)
-	}
-	if cfg.Thermostat != nil {
-		if err := cfg.Thermostat.Validate(); err != nil {
-			return nil, err
-		}
 	}
 	var eng engineIface
 	if cfg.Alloy != nil {
@@ -359,6 +376,27 @@ func (s *Simulator) Step(n int) error {
 	}
 	return nil
 }
+
+// Rebuild forces a neighbor-list/decomposition rebuild and a force
+// recomputation from the current positions. Checkpoint writers call it
+// right after serializing state: a run resumed from the checkpoint
+// rebuilds everything from scratch, so forcing the continuing run
+// through the same rebuild makes the two trajectories bit-identical
+// from the checkpoint on (the summation order of the force loops is a
+// function of the neighbor list, which is a deterministic function of
+// the positions it was built from).
+func (s *Simulator) Rebuild() error {
+	if s.closed {
+		return errors.New("md: simulator is closed")
+	}
+	if err := s.rebuild(); err != nil {
+		return err
+	}
+	return s.computeForces()
+}
+
+// Config returns the simulator's configuration.
+func (s *Simulator) Config() Config { return s.cfg }
 
 // PotentialEnergy evaluates the full EAM energy at the current
 // positions (extra sweeps; not part of the timed force path).

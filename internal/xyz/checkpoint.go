@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"os"
+	"path/filepath"
 
 	"sdcmd/internal/box"
 	"sdcmd/internal/vec"
@@ -155,6 +157,58 @@ func ReadCheckpoint(r io.Reader) (*Snapshot, error) {
 	}
 	if got != want {
 		return nil, fmt.Errorf("xyz: checkpoint corrupted (crc %08x != %08x)", got, want)
+	}
+	return snap, nil
+}
+
+// WriteCheckpointFile atomically replaces path with a checkpoint of s:
+// the bytes go to a temporary file in the same directory, are fsynced,
+// and only then renamed over path. A crash at any point leaves either
+// the previous complete checkpoint or the new one — never a torn file —
+// which is what makes unattended periodic checkpointing safe to resume
+// from.
+func WriteCheckpointFile(path string, s *Snapshot) (err error) {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	tmp, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("xyz: checkpoint temp file: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			_ = tmp.Close()           // best-effort cleanup on the error path
+			_ = os.Remove(tmp.Name()) // the partial temp file must not survive
+		}
+	}()
+	if err = WriteCheckpoint(tmp, s); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return err
+	}
+	if err = tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// ReadCheckpointFile reads a checkpoint written by WriteCheckpointFile
+// (or any WriteCheckpoint stream saved to a file), verifying magic,
+// version and CRC.
+func ReadCheckpointFile(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	snap, err := ReadCheckpoint(f)
+	cerr := f.Close() // read-only descriptor: no buffered data at risk
+	if err != nil {
+		return nil, err
+	}
+	if cerr != nil {
+		return nil, cerr
 	}
 	return snap, nil
 }

@@ -2,6 +2,8 @@ package xyz
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -282,5 +284,82 @@ func TestReadAllXYZEdgeCases(t *testing.T) {
 	buf.WriteString("5\nbroken header\n")
 	if _, err := ReadAllXYZ(&buf); err == nil {
 		t.Error("truncated trailing frame accepted")
+	}
+}
+
+func TestCheckpointFileAtomicRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.sdck")
+	snap := sampleSnapshot(t, true)
+	if err := WriteCheckpointFile(path, snap); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCheckpointFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range snap.Pos {
+		if got.Pos[i] != snap.Pos[i] || got.Vel[i] != snap.Vel[i] {
+			t.Fatalf("atom %d not bit-exact through file round trip", i)
+		}
+	}
+	// Overwrite with different state: the rename must replace, and no
+	// temp files may be left behind.
+	snap2 := sampleSnapshot(t, true)
+	snap2.Step = snap.Step + 50
+	if err := WriteCheckpointFile(path, snap2); err != nil {
+		t.Fatal(err)
+	}
+	got2, err := ReadCheckpointFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.Step != snap2.Step {
+		t.Errorf("step %d after overwrite, want %d", got2.Step, snap2.Step)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("directory has %d entries after two writes, want 1 (no temp litter)", len(entries))
+	}
+}
+
+func TestCheckpointFileRejectsDamage(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.sdck")
+	if err := WriteCheckpointFile(path, sampleSnapshot(t, true)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncation: every prefix shorter than the full file must fail
+	// (spot-check a few cut points including mid-header and mid-CRC).
+	for _, cut := range []int{0, 3, 10, len(data) / 2, len(data) - 1} {
+		trunc := filepath.Join(dir, "trunc.sdck")
+		if err := os.WriteFile(trunc, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadCheckpointFile(trunc); err == nil {
+			t.Errorf("truncated checkpoint (%d of %d bytes) accepted", cut, len(data))
+		}
+	}
+	// Single bit flip anywhere after the magic must trip the CRC.
+	for _, at := range []int{5, 20, len(data) / 2, len(data) - 2} {
+		flipped := append([]byte(nil), data...)
+		flipped[at] ^= 0x01
+		bad := filepath.Join(dir, "flip.sdck")
+		if err := os.WriteFile(bad, flipped, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadCheckpointFile(bad); err == nil {
+			t.Errorf("bit flip at byte %d accepted", at)
+		}
+	}
+	if _, err := ReadCheckpointFile(filepath.Join(dir, "missing.sdck")); err == nil {
+		t.Error("missing file accepted")
 	}
 }

@@ -83,20 +83,9 @@ type Simulation struct {
 	thermo *md.ThermoLogger
 }
 
-// NewSimulation builds a bcc-Fe system and its simulator.
-func NewSimulation(o SimOptions) (*Simulation, error) {
-	if o.Cells == 0 {
-		o.Cells = 8
-	}
-	if o.Cells < 1 {
-		return nil, fmt.Errorf("sdcmd: cells %d must be >= 1", o.Cells)
-	}
-	if o.Temperature == 0 {
-		o.Temperature = 300
-	}
-	if o.Seed == 0 {
-		o.Seed = 1
-	}
+// mdConfig translates the structural options (everything except the
+// initial state) into an md.Config, applying defaults.
+func (o SimOptions) mdConfig() (md.Config, error) {
 	if o.Strategy == "" {
 		o.Strategy = "serial"
 	}
@@ -112,33 +101,20 @@ func NewSimulation(o SimOptions) (*Simulation, error) {
 	if o.Skin == 0 {
 		o.Skin = 0.5
 	}
-
 	kind, err := strategy.ParseKind(o.Strategy)
 	if err != nil {
-		return nil, err
+		return md.Config{}, err
 	}
 	if o.Dim < 1 || o.Dim > 3 {
-		return nil, fmt.Errorf("sdcmd: dim %d must be 1, 2 or 3", o.Dim)
+		return md.Config{}, fmt.Errorf("sdcmd: dim %d must be 1, 2 or 3", o.Dim)
 	}
-	cfg, err := lattice.Build(lattice.BCC, o.Cells, o.Cells, o.Cells, lattice.FeLatticeConstant)
-	if err != nil {
-		return nil, err
-	}
-	if o.Jitter > 0 {
-		cfg.Jitter(o.Jitter, o.Seed)
-	}
-	sys := md.FromLattice(cfg)
-	if err := sys.InitVelocities(o.Temperature, o.Seed); err != nil {
-		return nil, err
-	}
-
 	params := potential.DefaultFeParams()
 	if o.Johnson {
 		params = potential.JohnsonFeParams()
 	}
 	pot, err := potential.NewFeEAM(params)
 	if err != nil {
-		return nil, err
+		return md.Config{}, err
 	}
 	mcfg := md.Config{
 		Pot:      pot,
@@ -154,6 +130,48 @@ func NewSimulation(o SimOptions) (*Simulation, error) {
 			tau = 0.01
 		}
 		mcfg.Thermostat = &md.Berendsen{Target: o.ThermostatTarget, Tau: tau}
+	}
+	return mcfg, nil
+}
+
+// buildSystem translates the state options (Cells, Temperature, Seed,
+// Jitter) into an initialized bcc-Fe system, applying defaults.
+func (o SimOptions) buildSystem() (*md.System, error) {
+	if o.Cells == 0 {
+		o.Cells = 8
+	}
+	if o.Cells < 1 {
+		return nil, fmt.Errorf("sdcmd: cells %d must be >= 1", o.Cells)
+	}
+	if o.Temperature == 0 {
+		o.Temperature = 300
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	cfg, err := lattice.Build(lattice.BCC, o.Cells, o.Cells, o.Cells, lattice.FeLatticeConstant)
+	if err != nil {
+		return nil, err
+	}
+	if o.Jitter > 0 {
+		cfg.Jitter(o.Jitter, o.Seed)
+	}
+	sys := md.FromLattice(cfg)
+	if err := sys.InitVelocities(o.Temperature, o.Seed); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}
+
+// NewSimulation builds a bcc-Fe system and its simulator.
+func NewSimulation(o SimOptions) (*Simulation, error) {
+	sys, err := o.buildSystem()
+	if err != nil {
+		return nil, err
+	}
+	mcfg, err := o.mdConfig()
+	if err != nil {
+		return nil, err
 	}
 	sim, err := md.NewSimulator(sys, mcfg)
 	if err != nil {
@@ -176,50 +194,9 @@ func RestoreSimulation(r io.Reader, o SimOptions) (*Simulation, error) {
 	if err != nil {
 		return nil, err
 	}
-	if o.Strategy == "" {
-		o.Strategy = "serial"
-	}
-	if o.Threads == 0 {
-		o.Threads = 1
-	}
-	if o.Dim == 0 {
-		o.Dim = 2
-	}
-	if o.Dt == 0 {
-		o.Dt = 1e-3
-	}
-	if o.Skin == 0 {
-		o.Skin = 0.5
-	}
-	kind, err := strategy.ParseKind(o.Strategy)
+	mcfg, err := o.mdConfig()
 	if err != nil {
 		return nil, err
-	}
-	if o.Dim < 1 || o.Dim > 3 {
-		return nil, fmt.Errorf("sdcmd: dim %d must be 1, 2 or 3", o.Dim)
-	}
-	params := potential.DefaultFeParams()
-	if o.Johnson {
-		params = potential.JohnsonFeParams()
-	}
-	pot, err := potential.NewFeEAM(params)
-	if err != nil {
-		return nil, err
-	}
-	mcfg := md.Config{
-		Pot:      pot,
-		Strategy: kind,
-		Threads:  o.Threads,
-		Dim:      core.Dim(o.Dim),
-		Skin:     o.Skin,
-		Dt:       o.Dt,
-	}
-	if o.ThermostatTarget > 0 {
-		tau := o.ThermostatTau
-		if tau == 0 {
-			tau = 0.01
-		}
-		mcfg.Thermostat = &md.Berendsen{Target: o.ThermostatTarget, Tau: tau}
 	}
 	sim, err := md.NewSimulator(sys, mcfg)
 	if err != nil {

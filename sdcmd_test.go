@@ -3,6 +3,7 @@ package sdcmd
 import (
 	"bytes"
 	"math"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -273,5 +274,60 @@ func TestFacadeThermoLog(t *testing.T) {
 	}
 	if len(strings.Split(strings.TrimSpace(buf.String()), "\n")) != 3 {
 		t.Errorf("thermo CSV rows wrong:\n%s", buf.String())
+	}
+}
+
+func TestGuardedSimulationFacade(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "g.sdck")
+	sim, err := NewGuardedSimulation(GuardOptions{
+		SimOptions:      SimOptions{Cells: 4, Temperature: 100},
+		CheckEvery:      5,
+		CheckpointPath:  ckpt,
+		CheckpointEvery: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if sim.N() != 128 || sim.StepCount() != 10 || sim.Retries() != 0 {
+		t.Errorf("N=%d steps=%d retries=%d", sim.N(), sim.StepCount(), sim.Retries())
+	}
+	if sim.TotalEnergy() != sim.KineticEnergy()+sim.PotentialEnergy() {
+		t.Error("energy accessors inconsistent")
+	}
+	var buf bytes.Buffer
+	if err := sim.WriteXYZ(&buf, "frame"); err != nil || buf.Len() == 0 {
+		t.Errorf("WriteXYZ: %v", err)
+	}
+	events := sim.Events()
+	if len(events) != 1 || events[0].Kind != "checkpoint" {
+		t.Errorf("events %v, want one checkpoint", events)
+	}
+	if sim.StreamError() != nil {
+		t.Error(sim.StreamError())
+	}
+	sim.Close()
+
+	resumed, err := ResumeGuardedSimulation(ckpt, GuardOptions{
+		CheckpointPath: ckpt,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resumed.Close()
+	if resumed.StepCount() != 10 {
+		t.Errorf("resumed at step %d, want 10", resumed.StepCount())
+	}
+	if err := resumed.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := resumed.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ResumeGuardedSimulation(filepath.Join(dir, "nope.sdck"), GuardOptions{}); err == nil {
+		t.Error("missing checkpoint accepted")
 	}
 }
