@@ -25,6 +25,7 @@ type guardedArgs struct {
 	deadline                   time.Duration
 	guardLog                   string
 	restorePath                string
+	metrics                    metricsArgs
 }
 
 // runGuarded drives a simulation under the fault-tolerant supervisor.
@@ -57,6 +58,7 @@ func runGuarded(a guardedArgs) (retErr error) {
 			Johnson:          a.johnson,
 			ThermostatTarget: a.thermostat,
 			Jitter:           a.jitter,
+			Telemetry:        a.metrics.enabled(),
 		},
 		CheckEvery:      a.checkEvery,
 		MaxRetries:      a.maxRetries,
@@ -85,6 +87,14 @@ func runGuarded(a guardedArgs) (retErr error) {
 		return err
 	}
 	defer sim.Close()
+
+	if a.metrics.enabled() {
+		shutdown, err := startMetrics(a.metrics, sim, &retErr)
+		if err != nil {
+			return err
+		}
+		defer shutdown()
+	}
 
 	var xyzFile *os.File
 	if a.xyzPath != "" {
@@ -137,6 +147,9 @@ func runGuarded(a guardedArgs) (retErr error) {
 	}
 	if err := sim.StreamError(); err != nil {
 		return fmt.Errorf("guard event stream: %w", err)
+	}
+	if a.metrics.enabled() {
+		printPhaseSummary(sim.Metrics())
 	}
 	return nil
 }

@@ -16,12 +16,21 @@
 //
 //	mdrun -cells 8 -steps 1000 -checkpoint state.sdck -checkpoint-every 100
 //	mdrun -resume -checkpoint state.sdck -steps 2000   # continue to step 2000
+//
+// With -metrics-addr the run exposes live per-phase telemetry
+// (Prometheus text on /metrics, JSON via ?format=json, pprof under
+// /debug/pprof/) and prints a phase/worker summary at exit;
+// -metrics-log streams periodic JSONL snapshots to a file:
+//
+//	mdrun -cells 10 -steps 2000 -strategy sdc -threads 4 \
+//	    -metrics-addr :9090 -metrics-log metrics.jsonl -metrics-every 2s
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"sdcmd"
 )
@@ -67,12 +76,16 @@ func run(args []string) (retErr error) {
 	checkEvery := fs.Int("check-every", 0, "supervisor invariant-check interval in steps (0 = default 10)")
 	deadline := fs.Duration("deadline", 0, "watchdog deadline per supervised step chunk (0 = off)")
 	guardLog := fs.String("guard-log", "", "stream supervisor events as JSON lines to this file")
+	metricsAddr := fs.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof/ on this address (e.g. :9090)")
+	metricsLog := fs.String("metrics-log", "", "stream periodic JSON metrics snapshots to this file")
+	metricsEvery := fs.Duration("metrics-every", time.Second, "snapshot interval for -metrics-log")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *steps < 0 || *every < 1 {
 		return fmt.Errorf("steps must be >= 0 and every >= 1")
 	}
+	metrics := metricsArgs{addr: *metricsAddr, logPath: *metricsLog, every: *metricsEvery}
 	if *guardOn || *ckptEvery > 0 || *resume {
 		return runGuarded(guardedArgs{
 			cells: *cells, steps: *steps, temp: *temp, strat: *strat,
@@ -83,6 +96,7 @@ func run(args []string) (retErr error) {
 			maxRetries: *maxRetries, checkEvery: *checkEvery,
 			deadline: *deadline, guardLog: *guardLog,
 			restorePath: *restorePath,
+			metrics:     metrics,
 		})
 	}
 
@@ -97,6 +111,7 @@ func run(args []string) (retErr error) {
 		Johnson:          *johnson,
 		ThermostatTarget: *thermostat,
 		Jitter:           *jitter,
+		Telemetry:        metrics.enabled(),
 	}
 	var sim *sdcmd.Simulation
 	if *restorePath != "" {
@@ -118,6 +133,14 @@ func run(args []string) (retErr error) {
 		}
 	}
 	defer sim.Close()
+
+	if metrics.enabled() {
+		shutdown, err := startMetrics(metrics, sim, &retErr)
+		if err != nil {
+			return err
+		}
+		defer shutdown()
+	}
 
 	if *logPath != "" {
 		f, err := os.Create(*logPath)
@@ -180,6 +203,9 @@ func run(args []string) (retErr error) {
 			return err
 		}
 		fmt.Printf("checkpoint written to %s\n", *ckptPath)
+	}
+	if metrics.enabled() {
+		printPhaseSummary(sim.Metrics())
 	}
 	return nil
 }

@@ -10,7 +10,11 @@
 //
 // Model mode (default) predicts the paper's 16-core Xeon E7320 testbed
 // from measured workload statistics; measured mode times the real
-// goroutine implementations on this host (see DESIGN.md §4).
+// goroutine implementations on this host (see DESIGN.md §4). Measured
+// tables also report the §III.A per-phase decomposition — the share of
+// the instrumented force time spent in the density/embed/force phases —
+// both as "phases d/e/f" rows and as density_share/embed_share/
+// force_share CSV columns.
 package main
 
 import (

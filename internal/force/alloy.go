@@ -7,6 +7,7 @@ import (
 	"sdcmd/internal/box"
 	"sdcmd/internal/potential"
 	"sdcmd/internal/strategy"
+	"sdcmd/internal/telemetry"
 	"sdcmd/internal/vec"
 )
 
@@ -24,7 +25,13 @@ type AlloyEngine struct {
 
 	rho []float64
 	fp  []float64
+
+	tel *telemetry.Recorder // per-phase timers; nil = disabled
 }
+
+// SetTelemetry attaches a recorder that times the three phases of every
+// Compute; nil detaches.
+func (e *AlloyEngine) SetTelemetry(rec *telemetry.Recorder) { e.tel = rec }
 
 // NewAlloyEngine validates the species array against the potential.
 func NewAlloyEngine(pot potential.AlloyEAM, bx box.Box, species []int32) (*AlloyEngine, error) {
@@ -66,6 +73,7 @@ func (e *AlloyEngine) Compute(red strategy.Reducer, pos []vec.Vec3, f []vec.Vec3
 	// Phase 1: species-resolved densities. ρ_i gains the density
 	// donated by j's species and vice versa (direction-consistent, as
 	// the strategy contract requires).
+	sp := e.tel.Span()
 	for i := range e.rho {
 		e.rho[i] = 0
 	}
@@ -79,7 +87,10 @@ func (e *AlloyEngine) Compute(red strategy.Reducer, pos []vec.Vec3, f []vec.Vec3
 		return phiFromJ, phiFromI
 	})
 
+	e.tel.EndPhase(telemetry.PhaseDensity, sp)
+
 	// Phase 2: per-species embedding.
+	sp = e.tel.Span()
 	threads := red.Threads()
 	partial := make([]float64, threads)
 	minR := make([]float64, threads)
@@ -118,9 +129,11 @@ func (e *AlloyEngine) Compute(red strategy.Reducer, pos []vec.Vec3, f []vec.Vec3
 	if n == 0 {
 		res.MinRho, res.MaxRho = 0, 0
 	}
+	e.tel.EndPhase(telemetry.PhaseEmbed, sp)
 
 	// Phase 3: forces. The embedding coupling pairs F'(ρ_i) with the
 	// *partner's* density derivative: eq. (2) generalized to species.
+	sp = e.tel.Span()
 	vec.Fill(f, vec.Vec3{})
 	fp := e.fp
 	red.SweepVector(f, func(i, j int32) vec.Vec3 {
@@ -136,6 +149,7 @@ func (e *AlloyEngine) Compute(red strategy.Reducer, pos []vec.Vec3, f []vec.Vec3
 		coeff := dv + fp[i]*dphiJ + fp[j]*dphiI
 		return d.Scale(-coeff / r)
 	})
+	e.tel.EndPhase(telemetry.PhaseForce, sp)
 	return res, nil
 }
 

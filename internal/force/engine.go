@@ -14,6 +14,7 @@ import (
 	"sdcmd/internal/box"
 	"sdcmd/internal/potential"
 	"sdcmd/internal/strategy"
+	"sdcmd/internal/telemetry"
 	"sdcmd/internal/vec"
 )
 
@@ -29,6 +30,8 @@ type Engine struct {
 
 	rho []float64 // electron densities ρ_i (phase 1 output)
 	fp  []float64 // embedding derivatives F'(ρ_i) (phase 2 output)
+
+	tel *telemetry.Recorder // per-phase timers; nil = disabled
 }
 
 // NewEngine validates and builds an engine.
@@ -54,6 +57,10 @@ type Result struct {
 // Rho returns the phase-1 densities of the latest evaluation (aliased;
 // valid until the next call).
 func (e *Engine) Rho() []float64 { return e.rho }
+
+// SetTelemetry attaches a recorder that times the three phases of every
+// Compute (§III.A's decomposition); nil detaches.
+func (e *Engine) SetTelemetry(rec *telemetry.Recorder) { e.tel = rec }
 
 func (e *Engine) resize(n int) {
 	if cap(e.rho) < n {
@@ -105,13 +112,16 @@ func (e *Engine) Compute(red strategy.Reducer, pos []vec.Vec3, f []vec.Vec3) (Re
 	e.resize(n)
 
 	// Phase 1: electron densities (irregular scalar reduction).
+	sp := e.tel.Span()
 	for i := range e.rho {
 		e.rho[i] = 0
 	}
 	red.SweepScalar(e.rho, e.densityVisit(pos))
+	e.tel.EndPhase(telemetry.PhaseDensity, sp)
 
 	// Phase 2: embedding energies and F'(ρ) — no cross-iteration
 	// dependence, a plain parallel-for (§II.C phase 2).
+	sp = e.tel.Span()
 	threads := red.Threads()
 	partial := make([]float64, threads)
 	minR := make([]float64, threads)
@@ -150,10 +160,13 @@ func (e *Engine) Compute(red strategy.Reducer, pos []vec.Vec3, f []vec.Vec3) (Re
 	if n == 0 {
 		res.MinRho, res.MaxRho = 0, 0
 	}
+	e.tel.EndPhase(telemetry.PhaseEmbed, sp)
 
 	// Phase 3: forces (irregular vector reduction).
+	sp = e.tel.Span()
 	vec.Fill(f, vec.Vec3{})
 	red.SweepVector(f, e.forceVisit(pos))
+	e.tel.EndPhase(telemetry.PhaseForce, sp)
 	return res, nil
 }
 

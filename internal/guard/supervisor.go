@@ -229,6 +229,7 @@ func (s *Supervisor) recoverFrom(err error) error {
 		f = &Fault{Monitor: "integrator", Step: s.absStep, Atom: -1, Msg: err.Error()}
 	}
 	s.log.record(f.Step, EventFault, "%s", f.Error())
+	s.cfg.Telemetry.IncFault()
 	s.retries++
 	if s.retries > s.pol.MaxRetries {
 		s.log.record(f.Step, EventGiveUp, "retry budget %d exhausted", s.pol.MaxRetries)
@@ -294,6 +295,7 @@ func (s *Supervisor) restore(cause *Fault) error {
 		s.log.record(snap.Step, EventRollback,
 			"rolled back to step %d after %s fault (retry %d of %d)",
 			snap.Step, cause.Monitor, s.retries, s.pol.MaxRetries)
+		s.cfg.Telemetry.IncRollback()
 		return nil
 	}
 	return fmt.Errorf("guard: no usable snapshot to roll back to: %w", cause)
@@ -310,6 +312,7 @@ func (s *Supervisor) Checkpoint() error {
 		return err
 	}
 	s.lastCkpt = s.absStep
+	s.cfg.Telemetry.IncCheckpoint()
 	s.log.record(s.absStep, EventCheckpoint, "wrote %s", s.pol.CheckpointPath)
 	return s.sim.Rebuild()
 }

@@ -1,0 +1,100 @@
+package guard
+
+import (
+	"path/filepath"
+	"testing"
+
+	"sdcmd/internal/md"
+	"sdcmd/internal/telemetry"
+)
+
+// TestTelemetryGuardCounters cross-checks the recorder's fault and
+// rollback counters against the supervisor's own accounting after a
+// deterministic injected fault, and that Checkpoint bumps the
+// checkpoint counter.
+func TestTelemetryGuardCounters(t *testing.T) {
+	rec := telemetry.NewRecorder()
+	cfg := md.DefaultConfig()
+	cfg.Telemetry = rec
+	pol := Policy{
+		CheckEvery:     5,
+		MaxRetries:     3,
+		CheckpointPath: filepath.Join(t.TempDir(), "ckpt.xyz"),
+		Inject: NewInjector(
+			&Injection{AtStep: 10, Kind: InjectForceNaN, Atom: 3, Component: 1},
+		),
+	}
+	sup, err := New(feSystem(t, 3, 150), cfg, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sup.Close()
+
+	if m := rec.Snapshot(); m.Faults != 0 || m.Rollbacks != 0 || m.Checkpoints != 0 {
+		t.Fatalf("counters moved before the run: %d/%d/%d", m.Faults, m.Rollbacks, m.Checkpoints)
+	}
+	if err := sup.Run(30); err != nil {
+		t.Fatalf("supervised run failed: %v", err)
+	}
+
+	m := rec.Snapshot()
+	if m.Faults != uint64(sup.Retries()) {
+		t.Errorf("fault counter %d != supervisor retries %d", m.Faults, sup.Retries())
+	}
+	if m.Faults < 1 {
+		t.Error("injected fault did not reach the fault counter")
+	}
+	if m.Rollbacks < 1 {
+		t.Error("recovery recorded no rollback")
+	}
+	if m.Rollbacks > m.Faults {
+		t.Errorf("rollbacks %d exceed faults %d", m.Rollbacks, m.Faults)
+	}
+	if m.Checkpoints != 0 {
+		t.Errorf("checkpoint counter %d before any Checkpoint call", m.Checkpoints)
+	}
+
+	if err := sup.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.Snapshot().Checkpoints; got != 1 {
+		t.Errorf("checkpoint counter %d after one Checkpoint, want 1", got)
+	}
+}
+
+// TestTelemetrySurvivesRollback pins that the recorder in md.Config is
+// carried across the rebuild a rollback performs: phase time keeps
+// accumulating on the same recorder after recovery.
+func TestTelemetrySurvivesRollback(t *testing.T) {
+	rec := telemetry.NewRecorder()
+	cfg := md.DefaultConfig()
+	cfg.Telemetry = rec
+	pol := Policy{
+		CheckEvery: 5,
+		MaxRetries: 3,
+		Inject: NewInjector(
+			&Injection{AtStep: 10, Kind: InjectVelNaN, Atom: 1, Component: 0},
+		),
+	}
+	sup, err := New(feSystem(t, 3, 150), cfg, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sup.Close()
+	if err := sup.Run(30); err != nil {
+		t.Fatalf("supervised run failed: %v", err)
+	}
+
+	m := rec.Snapshot()
+	if m.Faults < 1 || m.Rollbacks < 1 {
+		t.Fatalf("expected a fault and a rollback, got %d/%d", m.Faults, m.Rollbacks)
+	}
+	// 30 committed steps plus the re-run of the rolled-back window; each
+	// step evaluates the force once, so calls must exceed the step count.
+	if m.Density.Calls <= 30 {
+		t.Errorf("density calls %d do not cover the 30 steps plus the rollback re-run", m.Density.Calls)
+	}
+	if m.PhaseSeconds() <= 0 {
+		t.Error("no phase time accumulated across the rollback")
+	}
+}

@@ -12,7 +12,8 @@ import (
 // empty value fields.
 func (t *Table1) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"experiment", "case", "series", "threads", "speedup"}); err != nil {
+	if err := cw.Write([]string{"experiment", "case", "series", "threads", "speedup",
+		"density_share", "embed_share", "force_share"}); err != nil {
 		return err
 	}
 	for _, c := range t.Cases {
@@ -22,8 +23,10 @@ func (t *Table1) WriteCSV(w io.Writer) error {
 				if !cell.Blank {
 					val = strconv.FormatFloat(cell.Speedup, 'f', 4, 64)
 				}
-				if err := cw.Write([]string{"table1", c.String(), "sdc-" + dim.String(),
-					strconv.Itoa(t.Threads[ti]), val}); err != nil {
+				row := []string{"table1", c.String(), "sdc-" + dim.String(),
+					strconv.Itoa(t.Threads[ti]), val}
+				row = append(row, phaseFields(cell)...)
+				if err := cw.Write(row); err != nil {
 					return err
 				}
 			}
@@ -33,18 +36,34 @@ func (t *Table1) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
+// phaseFields renders the per-phase share columns; cells without phase
+// data (model mode, blanks) yield empty fields.
+func phaseFields(c Cell) []string {
+	if !c.HasPhases || c.Blank {
+		return []string{"", "", ""}
+	}
+	return []string{
+		strconv.FormatFloat(c.DensityShare, 'f', 4, 64),
+		strconv.FormatFloat(c.EmbedShare, 'f', 4, 64),
+		strconv.FormatFloat(c.ForceShare, 'f', 4, 64),
+	}
+}
+
 // WriteCSV emits the Fig. 9 curves in the same long form.
 func (f *Fig9) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"experiment", "case", "series", "threads", "speedup"}); err != nil {
+	if err := cw.Write([]string{"experiment", "case", "series", "threads", "speedup",
+		"density_share", "embed_share", "force_share"}); err != nil {
 		return err
 	}
 	for _, c := range f.Cases {
 		for _, k := range Fig9Strategies {
 			for ti, cell := range f.Curves[c][k] {
-				if err := cw.Write([]string{"fig9", c.String(), k.String(),
+				row := []string{"fig9", c.String(), k.String(),
 					strconv.Itoa(f.Threads[ti]),
-					strconv.FormatFloat(cell.Speedup, 'f', 4, 64)}); err != nil {
+					strconv.FormatFloat(cell.Speedup, 'f', 4, 64)}
+				row = append(row, phaseFields(cell)...)
+				if err := cw.Write(row); err != nil {
 					return err
 				}
 			}

@@ -77,7 +77,7 @@ func RunFig9(opts Options) (*Fig9, error) {
 					if err != nil {
 						return nil, err
 					}
-					cells[ti] = Cell{Speedup: float64(serial) / float64(par)}
+					cells[ti] = cellFromMeasured(serial.elapsed, par)
 				}
 				f.Curves[c][k] = cells
 			}
@@ -106,7 +106,23 @@ func (f *Fig9) Render(w io.Writer) error {
 				p.printf(" %s", cell.Format())
 			}
 			p.println()
+			if anyPhases(f.Curves[c][k]) {
+				p.printf("  %-8s", " d/e/f%")
+				for _, cell := range f.Curves[c][k] {
+					p.printf(" %s", cell.FormatPhases())
+				}
+				p.println()
+			}
 		}
 	}
 	return p.Err()
+}
+
+func anyPhases(cells []Cell) bool {
+	for _, cell := range cells {
+		if cell.HasPhases {
+			return true
+		}
+	}
+	return false
 }

@@ -15,6 +15,7 @@ package harness
 
 import (
 	"fmt"
+	"time"
 
 	"sdcmd/internal/lattice"
 	"sdcmd/internal/perfmodel"
@@ -128,10 +129,16 @@ func (o Options) validate() error {
 }
 
 // Cell is one table entry: a speedup or a blank (the paper's empty
-// cells for infeasible 1D configurations).
+// cells for infeasible 1D configurations). Measured-mode cells also
+// carry the §III.A per-phase decomposition of the parallel run.
 type Cell struct {
 	Speedup float64
 	Blank   bool
+	// DensityShare, EmbedShare and ForceShare are the fractions of the
+	// instrumented force time each EAM phase consumed; valid only when
+	// HasPhases is set (measured mode).
+	DensityShare, EmbedShare, ForceShare float64
+	HasPhases                            bool
 }
 
 // Format renders the cell the way the paper's tables do.
@@ -140,4 +147,26 @@ func (c Cell) Format() string {
 		return "  -- "
 	}
 	return fmt.Sprintf("%5.2f", c.Speedup)
+}
+
+// FormatPhases renders the per-phase share triple as percentages
+// ("46/08/46"); blank or model-mode cells render as dashes.
+func (c Cell) FormatPhases() string {
+	if c.Blank || !c.HasPhases {
+		return "   --   "
+	}
+	return fmt.Sprintf("%02.0f/%02.0f/%02.0f",
+		100*c.DensityShare, 100*c.EmbedShare, 100*c.ForceShare)
+}
+
+// cellFromMeasured builds a measured-mode cell from the serial baseline
+// and one parallel measurement.
+func cellFromMeasured(serial time.Duration, par measured) Cell {
+	return Cell{
+		Speedup:      float64(serial) / float64(par.elapsed),
+		DensityShare: par.densityShare,
+		EmbedShare:   par.embedShare,
+		ForceShare:   par.forceShare,
+		HasPhases:    true,
+	}
 }

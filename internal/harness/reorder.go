@@ -52,12 +52,12 @@ func RunReorder(opts Options) (*Reorder, error) {
 	if err != nil {
 		return nil, err
 	}
-	r.SerialOpt, r.ParallelOpt = serialOpt, parOpt
+	r.SerialOpt, r.ParallelOpt = serialOpt.elapsed, parOpt.elapsed
 
 	switch opts.Mode {
 	case ModeModel:
-		r.SerialUnopt = time.Duration(float64(serialOpt) * modelSerialMissFactor)
-		r.ParallelUnopt = time.Duration(float64(parOpt) * modelParallelMissFactor)
+		r.SerialUnopt = time.Duration(float64(serialOpt.elapsed) * modelSerialMissFactor)
+		r.ParallelUnopt = time.Duration(float64(parOpt.elapsed) * modelParallelMissFactor)
 	case ModeMeasured:
 		su, err := measureForceTime(opts, measureSpec{kind: strategy.Serial, threads: 1, scramble: true})
 		if err != nil {
@@ -67,7 +67,7 @@ func RunReorder(opts Options) (*Reorder, error) {
 		if err != nil {
 			return nil, err
 		}
-		r.SerialUnopt, r.ParallelUnopt = su, pu
+		r.SerialUnopt, r.ParallelUnopt = su.elapsed, pu.elapsed
 	default:
 		return nil, fmt.Errorf("harness: unknown mode %v", opts.Mode)
 	}

@@ -99,7 +99,7 @@ func (t *Table1) runMeasured(opts Options) error {
 					}
 					return err
 				}
-				cells[ti] = Cell{Speedup: float64(serial) / float64(par)}
+				cells[ti] = cellFromMeasured(serial.elapsed, par)
 			}
 			t.Cells[c][dim] = cells
 		}
@@ -124,9 +124,31 @@ func (t *Table1) Render(w io.Writer) error {
 				p.printf(" %s", cell.Format())
 			}
 			p.println()
+			printPhaseRow(p, t.Cells[c][dim])
 		}
 	}
 	return p.Err()
+}
+
+// printPhaseRow prints the §III.A density/embed/force share triples
+// under a measured-mode series; model-mode rows carry no phase data and
+// print nothing.
+func printPhaseRow(p *printer, cells []Cell) {
+	any := false
+	for _, cell := range cells {
+		if cell.HasPhases {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return
+	}
+	p.printf("  %-24s", "  phases d/e/f (%):")
+	for _, cell := range cells {
+		p.printf(" %s", cell.FormatPhases())
+	}
+	p.println()
 }
 
 func dimName(d core.Dim) string {

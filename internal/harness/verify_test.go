@@ -60,8 +60,8 @@ func TestMeasuredSweepUnderCheck(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%v under check: %v", spec.kind, err)
 		}
-		if d <= 0 {
-			t.Fatalf("%v under check: non-positive duration %v", spec.kind, d)
+		if d.elapsed <= 0 {
+			t.Fatalf("%v under check: non-positive duration %v", spec.kind, d.elapsed)
 		}
 	}
 }

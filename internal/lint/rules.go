@@ -20,9 +20,18 @@ func DefaultRules() []Rule {
 			// supervisor control plane, not force-loop parallelism; the
 			// force sweeps they drive still run under the pool.
 			"internal/guard/watchdog.go",
+			// The telemetry HTTP listener and JSONL streamer goroutines
+			// are observability control plane serving requests/snapshots
+			// concurrently with the simulation; no force-loop work runs
+			// on them.
+			"internal/telemetry/",
 		}},
 		&CSOnlyAtomics{Allowed: []string{
 			"internal/strategy/cs.go",
+			// Telemetry counters are lock-free observability
+			// infrastructure read by concurrent HTTP/stream snapshots —
+			// not a priced reduction strategy competing with CS.
+			"internal/telemetry/",
 		}},
 		&FloatCompare{},
 		&UncheckedError{ExemptDirs: []string{"examples/"}},

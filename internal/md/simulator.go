@@ -13,6 +13,7 @@ import (
 	"sdcmd/internal/neighbor"
 	"sdcmd/internal/potential"
 	"sdcmd/internal/strategy"
+	"sdcmd/internal/telemetry"
 	"sdcmd/internal/vec"
 )
 
@@ -39,6 +40,12 @@ type Config struct {
 	// Pot/Alloy must be set.
 	Alloy   potential.AlloyEAM
 	Species []int32
+	// Telemetry, when non-nil, receives per-phase force timers,
+	// per-color sweep times, per-worker utilization and the rebuild
+	// counter. nil (the default) disables collection entirely — the hot
+	// path then pays only nil checks. The recorder outlives any single
+	// simulator, so guard rollbacks keep accumulating into it.
+	Telemetry *telemetry.Recorder
 }
 
 // DefaultConfig returns serviceable defaults: serial strategy, the
@@ -172,6 +179,7 @@ func (l *Langevin) Apply(sys *System, dt float64) {
 type engineIface interface {
 	Cutoff() float64
 	SetBox(bx box.Box)
+	SetTelemetry(rec *telemetry.Recorder)
 	Compute(red strategy.Reducer, pos, f []vec.Vec3) (force.Result, error)
 	PotentialEnergy(red strategy.Reducer, pos []vec.Vec3) (float64, error)
 }
@@ -179,8 +187,9 @@ type engineIface interface {
 // singleEngine adapts *force.Engine.
 type singleEngine struct{ e *force.Engine }
 
-func (w singleEngine) Cutoff() float64   { return w.e.Pot.Cutoff() }
-func (w singleEngine) SetBox(bx box.Box) { w.e.Box = bx }
+func (w singleEngine) Cutoff() float64                      { return w.e.Pot.Cutoff() }
+func (w singleEngine) SetBox(bx box.Box)                    { w.e.Box = bx }
+func (w singleEngine) SetTelemetry(rec *telemetry.Recorder) { w.e.SetTelemetry(rec) }
 func (w singleEngine) Compute(red strategy.Reducer, pos, f []vec.Vec3) (force.Result, error) {
 	return w.e.Compute(red, pos, f)
 }
@@ -192,8 +201,9 @@ func (w singleEngine) PotentialEnergy(red strategy.Reducer, pos []vec.Vec3) (flo
 // alloyEngine adapts *force.AlloyEngine.
 type alloyEngine struct{ e *force.AlloyEngine }
 
-func (w alloyEngine) Cutoff() float64   { return w.e.Pot.Cutoff() }
-func (w alloyEngine) SetBox(bx box.Box) { w.e.Box = bx }
+func (w alloyEngine) Cutoff() float64                      { return w.e.Pot.Cutoff() }
+func (w alloyEngine) SetBox(bx box.Box)                    { w.e.Box = bx }
+func (w alloyEngine) SetTelemetry(rec *telemetry.Recorder) { w.e.SetTelemetry(rec) }
 func (w alloyEngine) Compute(red strategy.Reducer, pos, f []vec.Vec3) (force.Result, error) {
 	return w.e.Compute(red, pos, f)
 }
@@ -250,11 +260,13 @@ func NewSimulator(sys *System, cfg Config) (*Simulator, error) {
 		eng = singleEngine{se}
 	}
 	sim := &Simulator{Sys: sys, cfg: cfg, eng: eng}
+	eng.SetTelemetry(cfg.Telemetry)
 	if cfg.Strategy != strategy.Serial {
 		pool, err := strategy.NewPool(cfg.Threads)
 		if err != nil {
 			return nil, err
 		}
+		pool.SetTelemetry(cfg.Telemetry)
 		sim.pool = pool
 	}
 	if err := sim.rebuild(); err != nil {
@@ -291,6 +303,7 @@ func (s *Simulator) rebuild() error {
 	}
 	s.red, err = strategy.New(strategy.Config{
 		Kind: s.cfg.Strategy, List: s.list, Pool: s.pool, Decomp: s.dec,
+		Telemetry: s.cfg.Telemetry,
 	})
 	if err != nil {
 		return err
@@ -300,6 +313,7 @@ func (s *Simulator) rebuild() error {
 	}
 	copy(s.posAtBuild, s.Sys.Pos)
 	s.rebuilds++
+	s.cfg.Telemetry.IncRebuild()
 	return nil
 }
 
@@ -424,6 +438,10 @@ func (s *Simulator) StepCount() int { return s.step }
 
 // Rebuilds returns how many times the neighbor list was (re)built.
 func (s *Simulator) Rebuilds() int { return s.rebuilds }
+
+// Telemetry returns the recorder the simulator was configured with (nil
+// when telemetry is disabled).
+func (s *Simulator) Telemetry() *telemetry.Recorder { return s.cfg.Telemetry }
 
 // ForceTime returns the accumulated wall time of the density+force
 // phases — the paper's measured quantity.

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"time"
 )
 
@@ -75,7 +76,8 @@ func Efficiency(speedup float64, threads int) (float64, error) {
 }
 
 // Timer measures wall-clock intervals with the monotonic clock (the
-// role gettimeofday() plays in the paper's §III.A).
+// role gettimeofday() plays in the paper's §III.A). It is NOT safe for
+// concurrent use; wrap timing shared across goroutines in SafeTimer.
 type Timer struct {
 	start   time.Time
 	elapsed time.Duration
@@ -106,10 +108,47 @@ func (t *Timer) Elapsed() time.Duration {
 	return t.elapsed
 }
 
-// Reset zeroes the timer and stops it.
+// Reset zeroes the timer and stops it, clearing any start mark so a
+// later Start begins a fresh interval.
 func (t *Timer) Reset() {
+	t.start = time.Time{}
 	t.elapsed = 0
 	t.running = false
+}
+
+// SafeTimer is a mutex-guarded Timer with the same API, safe for
+// concurrent Start/Stop/Elapsed/Reset from multiple goroutines.
+type SafeTimer struct {
+	mu sync.Mutex
+	t  Timer
+}
+
+// Start begins (or resumes) timing.
+func (s *SafeTimer) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.t.Start()
+}
+
+// Stop pauses timing and accumulates the interval.
+func (s *SafeTimer) Stop() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.t.Stop()
+}
+
+// Elapsed returns the accumulated time (including a running interval).
+func (s *SafeTimer) Elapsed() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.t.Elapsed()
+}
+
+// Reset zeroes the timer and stops it.
+func (s *SafeTimer) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.t.Reset()
 }
 
 // Time runs fn and returns its wall-clock duration.

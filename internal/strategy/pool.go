@@ -12,6 +12,9 @@ import (
 	"sync"
 	//lint:ignore cs-only-atomics the dynamic-scheduling work counter is pool infrastructure, not a reduction strategy
 	"sync/atomic"
+	"time"
+
+	"sdcmd/internal/telemetry"
 )
 
 // Pool is a persistent worker pool with fork/join semantics, the Go
@@ -19,6 +22,13 @@ import (
 // reused, so each sweep pays only the dispatch + barrier cost (the
 // paper's fork-join overhead that §IV charges 2D/3D SDC with, without
 // repeated thread creation).
+//
+// Lifecycle contract: Run and the ParallelFor* helpers may be called
+// any number of times before Close, from one dispatching goroutine at a
+// time (dispatches are serialized internally, so a concurrent Close
+// waits for an in-flight region to join). After Close the pool is dead:
+// any further Run/ParallelFor* panics immediately with a clear message
+// instead of deadlocking on the workers that have already exited.
 type Pool struct {
 	threads int
 	work    []chan func(tid int)
@@ -26,6 +36,13 @@ type Pool struct {
 	wg      sync.WaitGroup
 	closed  bool
 	mu      sync.Mutex
+
+	// tel, when set, receives per-worker busy/barrier-wait time for
+	// every parallel region; busyNS is the per-region scratch the
+	// workers fill (worker t writes slot t only; the region's WaitGroup
+	// join orders those writes before the dispatcher reads them).
+	tel    *telemetry.Recorder
+	busyNS []int64
 }
 
 // NewPool starts threads workers. threads must be >= 1.
@@ -69,16 +86,57 @@ func (p *Pool) worker(tid int) {
 // Threads returns the worker count.
 func (p *Pool) Threads() int { return p.threads }
 
+// SetTelemetry attaches a recorder that accumulates per-worker busy and
+// barrier-wait time for every subsequent parallel region (nil detaches;
+// utilization is busy/(busy+wait)). Call it before the pool is in use:
+// it is not synchronized against an in-flight Run.
+func (p *Pool) SetTelemetry(rec *telemetry.Recorder) {
+	p.tel = rec
+	if rec != nil && p.busyNS == nil {
+		p.busyNS = make([]int64, p.threads)
+	}
+}
+
 // Run executes fn once on every worker (fn receives the worker id) and
 // blocks until all return — one parallel region with its implicit
 // barrier. Run is not reentrant: callers must not call Run from inside
-// fn.
+// fn. Calling Run after Close panics ("fail fast"): the workers have
+// exited, so the dispatch could never complete.
 func (p *Pool) Run(fn func(tid int)) {
+	// The dispatch mutex closes the Run-vs-Close race: Close cannot
+	// retire the workers while a region is being dispatched or joined,
+	// and a post-Close Run fails here instead of blocking forever on
+	// the unbuffered work channels.
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		//lint:ignore no-panic lifecycle violation (Run after Close) would otherwise deadlock forever; failing fast is the documented contract
+		panic("strategy: Pool.Run called after Close (pool workers have exited)")
+	}
+	body := fn
+	var region telemetry.Span
+	if p.tel != nil {
+		region = p.tel.Span()
+		body = func(tid int) {
+			sp := p.tel.Span()
+			fn(tid)
+			p.busyNS[tid] = int64(sp.Elapsed())
+		}
+	}
 	p.wg.Add(p.threads)
 	for t := 0; t < p.threads; t++ {
-		p.work[t] <- fn
+		p.work[t] <- body
 	}
 	p.wg.Wait()
+	if p.tel != nil {
+		// Wall clock of the whole region; each worker's barrier wait is
+		// the span between its own finish and the slowest worker's.
+		wall := int64(region.Elapsed())
+		for t := 0; t < p.threads; t++ {
+			busy := p.busyNS[t]
+			p.tel.AddWorker(t, time.Duration(busy), time.Duration(wall-busy))
+		}
+	}
 }
 
 // ParallelFor splits [0, n) into static contiguous chunks, one per
@@ -131,8 +189,11 @@ func (p *Pool) ParallelForDynamic(n int, body func(k, tid int)) {
 	})
 }
 
-// Close terminates the workers. The pool must not be used afterwards.
-// Close is idempotent.
+// Close terminates the workers. The pool must not be used afterwards:
+// any later Run/ParallelFor* panics (see Run). Close is idempotent and
+// serializes against an in-flight Run — it blocks until the current
+// parallel region has joined, so no worker can exit with a dispatched
+// job half-taken (the race that used to wedge wg.Wait forever).
 func (p *Pool) Close() {
 	p.mu.Lock()
 	defer p.mu.Unlock()

@@ -6,6 +6,7 @@ import (
 
 	"sdcmd/internal/core"
 	"sdcmd/internal/neighbor"
+	"sdcmd/internal/telemetry"
 	"sdcmd/internal/vec"
 )
 
@@ -110,6 +111,10 @@ type Config struct {
 	Pool *Pool
 	// Decomp is the SDC decomposition; required for Kind SDC.
 	Decomp *core.Decomposition
+	// Telemetry, when non-nil, receives per-color sweep times from the
+	// SDC reducer (worker-level accumulation is attached to the Pool
+	// separately via Pool.SetTelemetry).
+	Telemetry *telemetry.Recorder
 }
 
 // New builds the reducer for cfg.
@@ -140,7 +145,7 @@ func New(cfg Config) (Reducer, error) {
 			return nil, fmt.Errorf("strategy: decomposition covers %d atoms, list %d",
 				len(cfg.Decomp.PartIndex), cfg.List.N())
 		}
-		return &sdcReducer{list: cfg.List, pool: cfg.Pool, dec: cfg.Decomp}, nil
+		return &sdcReducer{list: cfg.List, pool: cfg.Pool, dec: cfg.Decomp, tel: cfg.Telemetry}, nil
 	case CS:
 		return &csReducer{list: cfg.List, pool: cfg.Pool}, nil
 	case AtomicCS:

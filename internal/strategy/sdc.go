@@ -3,6 +3,7 @@ package strategy
 import (
 	"sdcmd/internal/core"
 	"sdcmd/internal/neighbor"
+	"sdcmd/internal/telemetry"
 	"sdcmd/internal/vec"
 )
 
@@ -19,6 +20,9 @@ type sdcReducer struct {
 	list *neighbor.List
 	pool *Pool
 	dec  *core.Decomposition
+	// tel, when set, accumulates per-color sweep wall time — the
+	// §III.A decomposition of where a sweep spends its barriers.
+	tel *telemetry.Recorder
 	// phaseHook, when set (by CheckedReducer), runs serially after each
 	// color's pool barrier.
 	phaseHook func()
@@ -47,6 +51,7 @@ func (r *sdcReducer) Decomposition() *core.Decomposition { return r.dec }
 
 func (r *sdcReducer) SweepScalar(out []float64, visit ScalarVisit) {
 	for c := 0; c < r.dec.NumColors(); c++ {
+		sp := r.tel.Span()
 		subs := r.dec.ByColor[c]
 		r.pool.ParallelForStrided(len(subs), func(k, _ int) {
 			s := int(subs[k])
@@ -61,11 +66,13 @@ func (r *sdcReducer) SweepScalar(out []float64, visit ScalarVisit) {
 		// Pool barrier here: the next color starts only when every
 		// worker finished this one (paper §II.B step 3).
 		r.barrier()
+		r.tel.AddColor(c, sp.Elapsed())
 	}
 }
 
 func (r *sdcReducer) SweepVector(out []vec.Vec3, visit VectorVisit) {
 	for c := 0; c < r.dec.NumColors(); c++ {
+		sp := r.tel.Span()
 		subs := r.dec.ByColor[c]
 		r.pool.ParallelForStrided(len(subs), func(k, _ int) {
 			s := int(subs[k])
@@ -82,6 +89,7 @@ func (r *sdcReducer) SweepVector(out []vec.Vec3, visit VectorVisit) {
 			}
 		})
 		r.barrier()
+		r.tel.AddColor(c, sp.Elapsed())
 	}
 }
 

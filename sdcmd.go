@@ -35,6 +35,7 @@ import (
 	"sdcmd/internal/md"
 	"sdcmd/internal/potential"
 	"sdcmd/internal/strategy"
+	"sdcmd/internal/telemetry"
 	"sdcmd/internal/vec"
 	"sdcmd/internal/xyz"
 )
@@ -71,6 +72,10 @@ type SimOptions struct {
 	// Jitter displaces the initial lattice by this amplitude in Å
 	// (default 0: perfect crystal).
 	Jitter float64
+	// Telemetry enables the per-phase/per-worker metrics recorder; read
+	// it with Simulation.Metrics, ServeMetrics or StreamMetrics. Off by
+	// default (the recorder costs two monotonic clock reads per phase).
+	Telemetry bool
 }
 
 // PaperTimestep is the paper's Δt = 10⁻¹⁷ s, in ps.
@@ -81,6 +86,7 @@ type Simulation struct {
 	sim    *md.Simulator
 	sys    *md.System
 	thermo *md.ThermoLogger
+	tel    *telemetry.Recorder
 }
 
 // mdConfig translates the structural options (everything except the
@@ -131,6 +137,9 @@ func (o SimOptions) mdConfig() (md.Config, error) {
 		}
 		mcfg.Thermostat = &md.Berendsen{Target: o.ThermostatTarget, Tau: tau}
 	}
+	if o.Telemetry {
+		mcfg.Telemetry = telemetry.NewRecorder()
+	}
 	return mcfg, nil
 }
 
@@ -177,7 +186,7 @@ func NewSimulation(o SimOptions) (*Simulation, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Simulation{sim: sim, sys: sys}, nil
+	return &Simulation{sim: sim, sys: sys, tel: mcfg.Telemetry}, nil
 }
 
 // RestoreSimulation resumes a run from a checkpoint written by
@@ -202,7 +211,7 @@ func RestoreSimulation(r io.Reader, o SimOptions) (*Simulation, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Simulation{sim: sim, sys: sys}, nil
+	return &Simulation{sim: sim, sys: sys, tel: mcfg.Telemetry}, nil
 }
 
 // Run advances n timesteps.

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"sdcmd/internal/guard"
+	"sdcmd/internal/telemetry"
 	"sdcmd/internal/xyz"
 )
 
@@ -78,6 +79,7 @@ func (o GuardOptions) policy() guard.Policy {
 // checkpoints are written atomically for exact resume.
 type GuardedSimulation struct {
 	sup *guard.Supervisor
+	tel *telemetry.Recorder
 }
 
 // NewGuardedSimulation builds a bcc-Fe system and runs it under the
@@ -95,7 +97,7 @@ func NewGuardedSimulation(o GuardOptions) (*GuardedSimulation, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &GuardedSimulation{sup: sup}, nil
+	return &GuardedSimulation{sup: sup, tel: mcfg.Telemetry}, nil
 }
 
 // ResumeGuardedSimulation continues a run from the atomic checkpoint at
@@ -112,7 +114,7 @@ func ResumeGuardedSimulation(path string, o GuardOptions) (*GuardedSimulation, e
 	if err != nil {
 		return nil, err
 	}
-	return &GuardedSimulation{sup: sup}, nil
+	return &GuardedSimulation{sup: sup, tel: mcfg.Telemetry}, nil
 }
 
 // Run advances n timesteps under supervision. Recoverable faults are
