@@ -3,6 +3,7 @@
 //
 //	sdclint ./...            # lint the whole tree, exit 1 on findings
 //	sdclint -json ./...      # one JSON finding per line, for tooling
+//	sdclint -sarif ./...     # one SARIF 2.1.0 document, for CI upload
 //	sdclint -rules           # list the rules and what they enforce
 //
 // Findings print as file:line:col: rule: message. A finding is
@@ -32,8 +33,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("sdclint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	asJSON := fs.Bool("json", false, "emit one JSON finding per line")
+	asSARIF := fs.Bool("sarif", false, "emit one SARIF 2.1.0 document")
 	listRules := fs.Bool("rules", false, "list the rules and exit")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *asJSON && *asSARIF {
+		_, _ = fmt.Fprintln(stderr, "sdclint: -json and -sarif are mutually exclusive")
 		return 2
 	}
 	rules := lint.DefaultRules()
@@ -60,7 +66,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	findings := lint.Run(pkgs, rules)
-	if err := lint.Write(stdout, findings, *asJSON); err != nil {
+	if *asSARIF {
+		err = lint.WriteSARIF(stdout, "sdclint", lint.AsPasses(rules), findings)
+	} else {
+		err = lint.Write(stdout, findings, *asJSON)
+	}
+	if err != nil {
 		_, _ = fmt.Fprintln(stderr, "sdclint:", err)
 		return 2
 	}

@@ -101,3 +101,32 @@ func TestRunMissingDir(t *testing.T) {
 		t.Error("expected a diagnostic on stderr")
 	}
 }
+
+func TestRunSARIF(t *testing.T) {
+	chdirFixture(t)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-sarif", "./..."}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1; stderr: %s", code, errb.String())
+	}
+	var doc struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Results []struct {
+				RuleID string `json:"ruleId"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid SARIF: %v", err)
+	}
+	if doc.Version != "2.1.0" || len(doc.Runs) != 1 || len(doc.Runs[0].Results) == 0 {
+		t.Fatalf("unexpected SARIF shape:\n%s", out.String())
+	}
+}
+
+func TestJSONAndSARIFExclusive(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-json", "-sarif", "./..."}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}

@@ -1,0 +1,87 @@
+// Command sdcvet runs the full static-analysis suite: the six sdclint
+// source-discipline rules plus the interprocedural sdcvet passes —
+// sdc-shared-write (worker-body writes to shared reduction arrays must
+// be provably confined or flow through an approved strategy.Reducer)
+// and hot-loop (no allocation, defer or map iteration inside loops of
+// functions reachable from Compute or the force sweeps).
+//
+//	sdcvet ./...             # analyze the whole tree, exit 1 on findings
+//	sdcvet -json ./...       # one JSON finding per line, for tooling
+//	sdcvet -sarif ./...      # one SARIF 2.1.0 document, for CI upload
+//	sdcvet -rules            # list every rule/pass and what it enforces
+//
+// Everything runs under one driver over one parse and type-check of
+// the tree. Findings print as file:line:col: rule: message and are
+// suppressed by the same //lint:ignore <rule>[,<rule>...] <reason>
+// directives sdclint honors. See DESIGN.md, "Correctness tooling".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"sdcmd/internal/lint"
+	"sdcmd/internal/vet"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func passes() []lint.Pass {
+	return append(lint.AsPasses(lint.DefaultRules()), vet.Passes()...)
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sdcvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	asJSON := fs.Bool("json", false, "emit one JSON finding per line")
+	asSARIF := fs.Bool("sarif", false, "emit one SARIF 2.1.0 document")
+	listRules := fs.Bool("rules", false, "list the rules and passes, then exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *asJSON && *asSARIF {
+		_, _ = fmt.Fprintln(stderr, "sdcvet: -json and -sarif are mutually exclusive")
+		return 2
+	}
+	all := passes()
+	if *listRules {
+		for _, p := range all {
+			if _, err := fmt.Fprintf(stdout, "%-20s %s\n", p.Name(), p.Doc()); err != nil {
+				return 2
+			}
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	root, err := os.Getwd()
+	if err != nil {
+		_, _ = fmt.Fprintln(stderr, "sdcvet:", err)
+		return 2
+	}
+	pkgs, err := lint.Load(root, patterns)
+	if err != nil {
+		_, _ = fmt.Fprintln(stderr, "sdcvet:", err)
+		return 2
+	}
+	findings := lint.RunPasses(pkgs, all)
+	if *asSARIF {
+		err = lint.WriteSARIF(stdout, "sdcvet", all, findings)
+	} else {
+		err = lint.Write(stdout, findings, *asJSON)
+	}
+	if err != nil {
+		_, _ = fmt.Fprintln(stderr, "sdcvet:", err)
+		return 2
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}

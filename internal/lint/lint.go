@@ -40,7 +40,7 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Rule, f.Message)
 }
 
-// Rule is one checkable source discipline.
+// Rule is one checkable per-package source discipline.
 type Rule interface {
 	// Name is the short identifier used in reports and ignore
 	// directives.
@@ -48,24 +48,85 @@ type Rule interface {
 	// Doc is a one-line description of what the rule enforces and why.
 	Doc() string
 	// Check reports the rule's findings in one package. Suppression
-	// via //lint:ignore is applied by Run, not by the rule.
+	// via //lint:ignore is applied by the driver, not by the rule.
 	Check(p *Package) []Finding
 }
 
-// Run applies rules to pkgs, drops findings suppressed by
-// //lint:ignore directives, reports malformed directives, and returns
-// everything sorted by (file, line, col, rule).
-func Run(pkgs []*Package, rules []Rule) []Finding {
+// Pass is one whole-program analysis. A Rule sees one package at a
+// time; a Pass sees the entire loaded program, which is what the
+// interprocedural sdcvet analyses need (a write-set leaking through a
+// cross-package helper is invisible per package). Both run under the
+// same driver and share one load/type-check of the tree.
+type Pass interface {
+	// Name is the short identifier used in reports and ignore
+	// directives (the Rule of every finding the pass emits).
+	Name() string
+	// Doc is a one-line description of what the pass enforces and why.
+	Doc() string
+	// Analyze reports the pass's findings over the whole program.
+	// Suppression via //lint:ignore is applied by the driver.
+	Analyze(pkgs []*Package) []Finding
+}
+
+// rulePass adapts a per-package Rule to the whole-program Pass driver.
+type rulePass struct{ r Rule }
+
+func (rp rulePass) Name() string { return rp.r.Name() }
+func (rp rulePass) Doc() string  { return rp.r.Doc() }
+func (rp rulePass) Analyze(pkgs []*Package) []Finding {
 	var out []Finding
 	for _, p := range pkgs {
-		for _, r := range rules {
-			for _, f := range r.Check(p) {
-				if !p.suppressed(f) {
-					out = append(out, f)
-				}
+		out = append(out, rp.r.Check(p)...)
+	}
+	return out
+}
+
+// AsPass adapts a Rule to a Pass.
+func AsPass(r Rule) Pass { return rulePass{r} }
+
+// AsPasses adapts a rule list to a pass list.
+func AsPasses(rules []Rule) []Pass {
+	out := make([]Pass, len(rules))
+	for i, r := range rules {
+		out[i] = AsPass(r)
+	}
+	return out
+}
+
+// Run applies rules to pkgs under the shared driver; see RunPasses.
+func Run(pkgs []*Package, rules []Rule) []Finding {
+	return RunPasses(pkgs, AsPasses(rules))
+}
+
+// RunPasses applies passes to pkgs, drops findings suppressed by
+// //lint:ignore directives, reports malformed directives and stale
+// suppressions (a directive rule that fired nothing this run), and
+// returns everything sorted by (file, line, col, rule). Stale detection
+// only judges directives naming a rule among the passes actually run,
+// so sdclint does not condemn a directive meant for an sdcvet pass.
+func RunPasses(pkgs []*Package, passes []Pass) []Finding {
+	byFile := map[string]*Package{}
+	known := map[string]bool{}
+	for _, p := range pkgs {
+		p.resetIgnoreUse()
+		for _, f := range p.Files {
+			byFile[f.Rel] = p
+		}
+	}
+	for _, pass := range passes {
+		known[pass.Name()] = true
+	}
+	var out []Finding
+	for _, pass := range passes {
+		for _, f := range pass.Analyze(pkgs) {
+			if p := byFile[f.File]; p == nil || !p.suppress(f) {
+				out = append(out, f)
 			}
 		}
+	}
+	for _, p := range pkgs {
 		out = append(out, p.malformedIgnores()...)
+		out = append(out, p.staleIgnores(known)...)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]

@@ -60,6 +60,15 @@ type Loader struct {
 	fset  *token.FileSet
 	std   types.Importer
 	cache map[string]*types.Package
+	// asts caches parsed files by absolute path so a file is parsed
+	// exactly once per Load, no matter how many packages import it: the
+	// directory walk and the intra-module importer share the cache (one
+	// parse of the repo instead of N — the shared-driver contract the
+	// parse-once test in internal/vet pins down).
+	asts map[string]*ast.File
+	// parseHook, when set, observes every actual parser.ParseFile call
+	// (cache hits do not fire it).
+	parseHook func(path string)
 }
 
 // Load expands patterns relative to root and returns the parsed
@@ -68,14 +77,23 @@ type Loader struct {
 // covers the whole tree. testdata, vendor and hidden directories are
 // skipped by the walk.
 func Load(root string, patterns []string) ([]*Package, error) {
+	return LoadWithHook(root, patterns, nil)
+}
+
+// LoadWithHook is Load with an observer called once per parsed file —
+// the counter hook the loader benchmarks and the parse-once regression
+// test use. hook may be nil.
+func LoadWithHook(root string, patterns []string, hook func(path string)) ([]*Package, error) {
 	abs, err := filepath.Abs(root)
 	if err != nil {
 		return nil, err
 	}
 	l := &Loader{
-		Root:  abs,
-		fset:  token.NewFileSet(),
-		cache: map[string]*types.Package{},
+		Root:      abs,
+		fset:      token.NewFileSet(),
+		cache:     map[string]*types.Package{},
+		asts:      map[string]*ast.File{},
+		parseHook: hook,
 	}
 	l.Module = readModulePath(filepath.Join(abs, "go.mod"))
 	l.std = importer.ForCompiler(l.fset, "source", nil)
@@ -186,6 +204,35 @@ func hasGoFiles(dir string) bool {
 	return false
 }
 
+// normRel canonicalizes a root-relative path to forward slashes. On
+// Windows filepath.Rel returns backslash-separated paths; every Rel the
+// loader hands to rules is normalized here so allow-lists written with
+// "/" behave identically on every platform.
+func normRel(p string) string {
+	if strings.IndexByte(p, '\\') < 0 {
+		return p
+	}
+	return strings.ReplaceAll(p, "\\", "/")
+}
+
+// parseFile parses path through the shared AST cache: the first request
+// parses (firing the hook), later requests — from other importing
+// packages or the directory walk — reuse the cached tree.
+func (l *Loader) parseFile(path string) (*ast.File, error) {
+	if f, ok := l.asts[path]; ok {
+		return f, nil
+	}
+	if l.parseHook != nil {
+		l.parseHook(path)
+	}
+	f, err := parser.ParseFile(l.fset, path, nil, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	l.asts[path] = f
+	return f, nil
+}
+
 // loadDir parses and type-checks one directory; nil if it holds no Go
 // files.
 func (l *Loader) loadDir(dir string) (*Package, error) {
@@ -197,7 +244,7 @@ func (l *Loader) loadDir(dir string) (*Package, error) {
 	if err != nil {
 		return nil, err
 	}
-	rel = filepath.ToSlash(rel)
+	rel = normRel(filepath.ToSlash(rel))
 	if rel == "." {
 		rel = ""
 	}
@@ -209,7 +256,7 @@ func (l *Loader) loadDir(dir string) (*Package, error) {
 			continue
 		}
 		path := filepath.Join(dir, name)
-		f, err := parser.ParseFile(l.fset, path, nil, parser.ParseComments)
+		f, err := l.parseFile(path)
 		if err != nil {
 			return nil, err
 		}
@@ -317,7 +364,7 @@ func (l *Loader) importModulePackage(path string) *types.Package {
 			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
 			continue
 		}
-		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, 0)
+		f, err := l.parseFile(filepath.Join(dir, name))
 		if err != nil {
 			continue
 		}

@@ -1,0 +1,167 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeTree materializes files (rel path → content) under a temp root.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for rel, content := range files {
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func TestLoadUnparseableFileFails(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod":  "module broken\n",
+		"a/a.go":  "package a\nfunc ok() {}\n",
+		"b/b.go":  "package b\nfunc broken( {\n",
+		"b/b2.go": "package b\nfunc fine() {}\n",
+	})
+	if _, err := Load(root, []string{"./..."}); err == nil {
+		t.Fatal("syntax error in b/b.go not surfaced by Load")
+	}
+	// The parse failure in b must not poison a sibling-only load.
+	pkgs, err := Load(root, []string{"a"})
+	if err != nil {
+		t.Fatalf("loading the healthy sibling failed: %v", err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Rel != "a" {
+		t.Fatalf("unexpected packages: %+v", pkgs)
+	}
+}
+
+func TestLoadPatternIsFileFails(t *testing.T) {
+	root := writeTree(t, map[string]string{"a/a.go": "package a\n"})
+	if _, err := Load(root, []string{"a/a.go"}); err == nil {
+		t.Fatal("file pattern accepted as a package directory")
+	}
+}
+
+func TestLoadDirWithoutGoFiles(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"a/a.go":       "package a\n",
+		"empty/.keep":  "",
+		"docs/note.md": "not go\n",
+	})
+	// Non-recursive pattern on a Go-free directory: no package, no error.
+	pkgs, err := Load(root, []string{"docs"})
+	if err != nil {
+		t.Fatalf("Go-free directory errored: %v", err)
+	}
+	if len(pkgs) != 0 {
+		t.Fatalf("Go-free directory produced packages: %+v", pkgs)
+	}
+	// The recursive walk likewise skips it.
+	pkgs, err = Load(root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Rel != "a" {
+		t.Fatalf("recursive walk found %+v, want just a", pkgs)
+	}
+}
+
+func TestLoadTypeErrorsTolerated(t *testing.T) {
+	// Type-check failures (an undefined identifier, an unresolvable
+	// import) must degrade to missing type info, never to a Load error:
+	// rules treat missing entries as "unknown".
+	root := writeTree(t, map[string]string{
+		"go.mod": "module partial\n",
+		"a/a.go": "package a\n\nimport \"no/such/dependency\"\n\nvar X = dependency.Value\n\nfunc f() int { return undefinedIdent }\n",
+	})
+	pkgs, err := Load(root, []string{"./..."})
+	if err != nil {
+		t.Fatalf("type errors surfaced as a load failure: %v", err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Name != "a" {
+		t.Fatalf("unexpected packages: %+v", pkgs)
+	}
+	if pkgs[0].Info == nil {
+		t.Fatal("Info must be non-nil even when type checking fails")
+	}
+	// The rules must run over the partially-typed package without
+	// panicking or inventing findings from missing info.
+	if got := Run(pkgs, DefaultRules()); len(got) != 0 {
+		t.Fatalf("partially-typed package produced findings: %v", got)
+	}
+}
+
+func TestLoadMissingIntraModuleImportFallsBack(t *testing.T) {
+	// An intra-module import of a package directory that does not exist
+	// resolves to the empty placeholder package, keeping the importing
+	// package loadable.
+	root := writeTree(t, map[string]string{
+		"go.mod": "module m\n",
+		"a/a.go": "package a\n\nimport \"m/missing\"\n\nvar X = missing.Value\n",
+	})
+	pkgs, err := Load(root, []string{"a"})
+	if err != nil {
+		t.Fatalf("missing intra-module import surfaced as a load failure: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("unexpected packages: %+v", pkgs)
+	}
+}
+
+func TestLoadWithHookParsesEachFileOnce(t *testing.T) {
+	// Two packages importing the same third package: the shared AST
+	// cache must parse each file exactly once even though the importer
+	// visits shared/ on behalf of both a and b.
+	root := writeTree(t, map[string]string{
+		"go.mod":               "module once\n",
+		"shared/shared.go":     "package shared\n\nfunc Value() int { return 1 }\n",
+		"a/a.go":               "package a\n\nimport \"once/shared\"\n\nvar X = shared.Value()\n",
+		"b/b.go":               "package b\n\nimport \"once/shared\"\n\nvar Y = shared.Value()\n",
+		"shared/extra_test.go": "package shared\n",
+	})
+	seen := map[string]int{}
+	if _, err := LoadWithHook(root, []string{"./..."}, func(path string) { seen[path]++ }); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) == 0 {
+		t.Fatal("parse hook never fired")
+	}
+	for path, n := range seen {
+		if n != 1 {
+			t.Errorf("%s parsed %d times, want exactly once", path, n)
+		}
+	}
+}
+
+func TestPathAllowedNormalizesSeparators(t *testing.T) {
+	allowed := []string{"internal/strategy/cs.go", "internal/telemetry/"}
+	cases := []struct {
+		rel  string
+		want bool
+	}{
+		{`internal\strategy\cs.go`, true},        // backslash rel, exact entry
+		{`internal\telemetry\recorder.go`, true}, // backslash rel, dir prefix
+		{"internal/strategy/cs.go", true},        // control: slash form
+		{`internal\strategy\pool.go`, false},     // not listed either way
+		{`internal\telemetry`, false},            // prefix requires the separator
+	}
+	for _, c := range cases {
+		if got := PathAllowed(c.rel, allowed); got != c.want {
+			t.Errorf("PathAllowed(%q) = %v, want %v", c.rel, got, c.want)
+		}
+	}
+	// Allow-list entries written with backslashes normalize too.
+	if !PathAllowed("internal/strategy/cs.go", []string{`internal\strategy\cs.go`}) {
+		t.Error("backslash allow-list entry did not match slash rel")
+	}
+	if !PathAllowed("internal/telemetry/recorder.go", []string{`internal\telemetry\`}) {
+		t.Error("backslash dir-prefix entry did not match slash rel")
+	}
+}

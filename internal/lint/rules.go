@@ -46,10 +46,15 @@ func DefaultRules() []Rule {
 	}
 }
 
-// pathAllowed reports whether rel matches an allow-list entry: an exact
-// file path, or a directory prefix (entry ending in "/").
-func pathAllowed(rel string, allowed []string) bool {
+// PathAllowed reports whether rel matches an allow-list entry: an exact
+// file path, or a directory prefix (entry ending in "/"). Both sides
+// are normalized to forward slashes first, so a backslash-separated rel
+// (a Windows filepath.Rel that bypassed the loader) and an allow-list
+// entry written with backslashes match their slash-separated twins.
+func PathAllowed(rel string, allowed []string) bool {
+	rel = normRel(rel)
 	for _, a := range allowed {
+		a = normRel(a)
 		if rel == a || (strings.HasSuffix(a, "/") && strings.HasPrefix(rel, a)) {
 			return true
 		}
@@ -131,7 +136,7 @@ func (r *PoolOnlyGo) Doc() string {
 func (r *PoolOnlyGo) Check(p *Package) []Finding {
 	var out []Finding
 	for _, f := range p.Files {
-		if f.Test || pathAllowed(f.Rel, r.Allowed) {
+		if f.Test || PathAllowed(f.Rel, r.Allowed) {
 			continue
 		}
 		ast.Inspect(f.AST, func(n ast.Node) bool {
@@ -169,7 +174,7 @@ func (r *CSOnlyAtomics) Doc() string {
 func (r *CSOnlyAtomics) Check(p *Package) []Finding {
 	var out []Finding
 	for _, f := range p.Files {
-		if f.Test || pathAllowed(f.Rel, r.Allowed) {
+		if f.Test || PathAllowed(f.Rel, r.Allowed) {
 			continue
 		}
 		for _, imp := range f.AST.Imports {
@@ -290,7 +295,7 @@ func (r *UncheckedError) Doc() string {
 func (r *UncheckedError) Check(p *Package) []Finding {
 	var out []Finding
 	for _, f := range p.Files {
-		if f.Test || pathAllowed(f.Rel, r.ExemptDirs) {
+		if f.Test || PathAllowed(f.Rel, r.ExemptDirs) {
 			continue
 		}
 		ast.Inspect(f.AST, func(n ast.Node) bool {
@@ -375,7 +380,7 @@ func (r *KernelDeterminism) Doc() string {
 func (r *KernelDeterminism) Check(p *Package) []Finding {
 	var out []Finding
 	for _, f := range p.Files {
-		if f.Test || !pathAllowed(f.Rel, r.Kernels) {
+		if f.Test || !PathAllowed(f.Rel, r.Kernels) {
 			continue
 		}
 		for _, imp := range f.AST.Imports {

@@ -1,0 +1,11 @@
+package app
+
+var fa, fb float64
+
+// One directive may name several comma-separated rules with one shared
+// reason: the statement below both launches a raw goroutine and
+// compares floats, and neither violation may be reported.
+func multiSuppressed() {
+	//lint:ignore pool-only-go,float-compare fixture: one directive covering two rules on one line
+	go func() { _ = fa == fb }()
+}

@@ -1,0 +1,9 @@
+package app
+
+// The directive below is well-formed but suppresses nothing: no-panic
+// never fires on the line after it, so the driver must report the
+// directive itself as stale.
+func staleDirective() int {
+	//lint:ignore no-panic fixture: nothing on the next line panics
+	return 1
+}

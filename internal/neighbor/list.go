@@ -391,6 +391,7 @@ func (b Builder) BuildParallel(bx box.Box, pos []vec.Vec3, pool Parallelizer) (*
 		for i := start; i < end; i++ {
 			scratch = candidates(i, scratch)
 			sort.Slice(scratch, func(a, b int) bool { return scratch[a] < scratch[b] })
+			//lint:ignore sdc-shared-write rows are disjoint by construction: Index is an exclusive prefix sum over counts, so [Index[i], Index[i]+counts[i]) never overlaps across i
 			copy(l.Neigh[l.Index[i]:], scratch)
 			l.Len[i] = int32(len(scratch))
 		}

@@ -51,6 +51,7 @@ func (r *sapReducer) scalarBuffers() [][]float64 {
 	if len(r.privScalar) != r.pool.Threads() || (len(r.privScalar) > 0 && len(r.privScalar[0]) != r.list.N()) {
 		r.privScalar = make([][]float64, r.pool.Threads())
 		for t := range r.privScalar {
+			//lint:ignore hot-loop buffers are rebuilt only when the thread or atom count changes, then reused every sweep
 			r.privScalar[t] = make([]float64, r.list.N())
 		}
 	}
@@ -61,6 +62,7 @@ func (r *sapReducer) vectorBuffers() [][]vec.Vec3 {
 	if len(r.privVector) != r.pool.Threads() || (len(r.privVector) > 0 && len(r.privVector[0]) != r.list.N()) {
 		r.privVector = make([][]vec.Vec3, r.pool.Threads())
 		for t := range r.privVector {
+			//lint:ignore hot-loop buffers are rebuilt only when the thread or atom count changes, then reused every sweep
 			r.privVector[t] = make([]vec.Vec3, r.list.N())
 		}
 	}

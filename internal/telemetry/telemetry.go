@@ -168,7 +168,9 @@ func (r *Recorder) AddWorker(tid int, busy, wait time.Duration) {
 	}
 	r.mu.Lock()
 	for len(r.busyNS) <= tid {
+		//lint:ignore hot-loop grows once to the worker count on first sight of each tid, then never again
 		r.busyNS = append(r.busyNS, 0)
+		//lint:ignore hot-loop grows once to the worker count on first sight of each tid, then never again
 		r.waitNS = append(r.waitNS, 0)
 	}
 	r.busyNS[tid] += int64(busy)

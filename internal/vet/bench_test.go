@@ -1,0 +1,62 @@
+package vet
+
+import (
+	"testing"
+
+	"sdcmd/internal/lint"
+)
+
+// repoRoot is the real module root, two levels up from this package.
+const repoRoot = "../.."
+
+// BenchmarkAnalyzeRepo measures the full-repo write-set analysis —
+// load+type-check once (amortized setup), then the summary/fixpoint
+// cost per iteration, which is what every sdcvet invocation pays on
+// top of the shared driver load.
+func BenchmarkAnalyzeRepo(b *testing.B) {
+	pkgs, err := lint.Load(repoRoot, []string{"./..."})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		an := analyze(pkgs)
+		if len(an.all) == 0 {
+			b.Fatal("analysis saw no functions")
+		}
+	}
+}
+
+// BenchmarkLoadAndAnalyzeRepo measures the end-to-end cost of one
+// sdcvet run: parse + type-check + analysis.
+func BenchmarkLoadAndAnalyzeRepo(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pkgs, err := lint.Load(repoRoot, []string{"./..."})
+		if err != nil {
+			b.Fatal(err)
+		}
+		analyze(pkgs)
+	}
+}
+
+// TestRepoParsedOnce pins the shared-driver contract on the real tree:
+// however many packages import a file's package, the loader parses the
+// file exactly once per run.
+func TestRepoParsedOnce(t *testing.T) {
+	seen := map[string]int{}
+	pkgs, err := lint.LoadWithHook(repoRoot, []string{"./..."}, func(path string) { seen[path]++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 5 {
+		t.Fatalf("suspiciously few packages loaded: %d", len(pkgs))
+	}
+	if len(seen) == 0 {
+		t.Fatal("parse hook never fired")
+	}
+	for path, n := range seen {
+		if n != 1 {
+			t.Errorf("%s parsed %d times, want exactly once", path, n)
+		}
+	}
+}

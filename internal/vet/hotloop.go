@@ -1,0 +1,186 @@
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+
+	"sdcmd/internal/lint"
+)
+
+// hotRootNames are the entry points of the per-step kernel work: the
+// force computations and the reduction sweeps. Everything reachable
+// from them runs once per timestep over every atom or pair.
+var hotRootNames = map[string]bool{
+	"Compute":     true,
+	"SweepScalar": true,
+	"SweepVector": true,
+}
+
+// markHot flags every function reachable from a kernel root over the
+// call graph (including closures folded conservatively into their
+// creators), recording which root made it hot.
+func (an *analysis) markHot() {
+	var queue []*funcNode
+	for _, n := range an.all {
+		if fd, ok := n.fn.(*ast.FuncDecl); ok && hotRootNames[fd.Name.Name] && !n.hot {
+			n.hot = true
+			n.hotRoot = fd.Name.Name
+			queue = append(queue, n)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, cs := range n.calls {
+			callee := cs.lit
+			if callee == nil {
+				callee = an.nodes[cs.callee]
+			}
+			if callee == nil || callee.hot {
+				continue
+			}
+			callee.hot = true
+			callee.hotRoot = n.hotRoot
+			queue = append(queue, callee)
+		}
+	}
+}
+
+// hotLoopPass flags per-iteration costs inside loops of kernel-hot
+// functions: allocations (make, new, growing append, interface
+// boxing), defer, and map iteration. None of these appear in the
+// paper's per-sweep cost model, and each one silently turns an O(1)
+// loop body into an allocating or nondeterministic one.
+type hotLoopPass struct {
+	sh *shared
+}
+
+func (p *hotLoopPass) Name() string { return "hot-loop" }
+
+func (p *hotLoopPass) Doc() string {
+	return "no allocation, defer, or map iteration inside loops of functions reachable from Compute or the force sweeps"
+}
+
+func (p *hotLoopPass) Analyze(pkgs []*lint.Package) []lint.Finding {
+	an := p.sh.analysisFor(pkgs)
+	var out []lint.Finding
+	for _, n := range an.all {
+		if !n.hot || n.body == nil {
+			continue
+		}
+		p.scanHot(an, n, &out)
+	}
+	return out
+}
+
+func (p *hotLoopPass) scanHot(an *analysis, n *funcNode, out *[]lint.Finding) {
+	info := n.pkg.Info
+	emit := func(pos ast.Node, what string) {
+		position := an.position(pos.Pos())
+		*out = append(*out, lint.Finding{
+			File: an.rel(pos.Pos()), Line: position.Line, Col: position.Column,
+			Rule: p.Name(),
+			Message: fmt.Sprintf("%s inside a loop of kernel-hot %s (reachable from %s)",
+				what, n.display, n.hotRoot),
+		})
+	}
+	var walk func(node ast.Node, depth int)
+	walk = func(node ast.Node, depth int) {
+		ast.Inspect(node, func(m ast.Node) bool {
+			if m == node {
+				return true
+			}
+			switch x := m.(type) {
+			case *ast.FuncLit:
+				// A nested literal is its own node; it is scanned
+				// separately iff the call graph marks it hot.
+				return false
+			case *ast.ForStmt:
+				walk(x, depth+1)
+				return false
+			case *ast.RangeStmt:
+				if depth >= 1 && isMapRange(info, x) {
+					emit(x, "map iteration (nondeterministic order)")
+				}
+				walk(x, depth+1)
+				return false
+			case *ast.DeferStmt:
+				if depth >= 1 {
+					emit(x, "defer (allocates and delays release)")
+				}
+			case *ast.CallExpr:
+				if depth < 1 {
+					return true
+				}
+				switch builtinOf(info, x) {
+				case "make":
+					emit(x, "make allocates")
+				case "new":
+					emit(x, "new allocates")
+				case "append":
+					emit(x, "append may grow and reallocate")
+				}
+				if boxesToInterface(info, x) {
+					emit(x, "conversion to interface boxes its operand (allocates)")
+				}
+			}
+			return true
+		})
+	}
+	walk(n.body, 0)
+}
+
+// isMapRange reports a range statement iterating a map.
+func isMapRange(info *types.Info, r *ast.RangeStmt) bool {
+	if info == nil {
+		return false
+	}
+	tv, ok := info.Types[r.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// builtinOf mirrors frame.builtinName for contexts without a frame.
+func builtinOf(info *types.Info, call *ast.CallExpr) string {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if info != nil {
+		if obj := info.Uses[id]; obj != nil {
+			if _, isB := obj.(*types.Builtin); !isB {
+				return "" // shadowed
+			}
+		}
+	}
+	switch id.Name {
+	case "make", "new", "append", "copy", "delete", "len", "cap", "clear":
+		return id.Name
+	}
+	return ""
+}
+
+// boxesToInterface reports an explicit conversion whose target type is
+// an interface and whose operand is concrete — a per-call allocation.
+func boxesToInterface(info *types.Info, call *ast.CallExpr) bool {
+	if info == nil || len(call.Args) != 1 {
+		return false
+	}
+	tv, ok := info.Types[call.Fun]
+	if !ok || !tv.IsType() || tv.Type == nil {
+		return false
+	}
+	if _, isIface := tv.Type.Underlying().(*types.Interface); !isIface {
+		return false
+	}
+	at, ok := info.Types[call.Args[0]]
+	if !ok || at.Type == nil {
+		return false
+	}
+	_, argIface := at.Type.Underlying().(*types.Interface)
+	return !argIface
+}

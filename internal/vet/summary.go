@@ -1,0 +1,527 @@
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"sdcmd/internal/lint"
+)
+
+// originKind classifies where a written base or index value comes from,
+// relative to the function whose summary holds it.
+type originKind int
+
+const (
+	// oUnknown: the analysis cannot name the value (call result,
+	// arithmetic, interface load). Writes rooted here are skipped —
+	// the documented under-approximation.
+	oUnknown originKind = iota
+	// oLocal: allocated inside the function (make/new/composite
+	// literal) or a plain local variable. Never shared across workers.
+	oLocal
+	// oParam: the i-th parameter (receiver first for methods).
+	oParam
+	// oCaptured: a variable of an enclosing function, shared by every
+	// worker running the closure.
+	oCaptured
+	// oGlobal: a package-level variable.
+	oGlobal
+	// oField: base.field.
+	oField
+	// oElem: base[index] — one element selected by index.
+	oElem
+	// oWindow: base[off:] or an append/copy region — a window at a
+	// statically unknown offset. Unlike oElem, a confined index deeper
+	// in the chain cannot prove disjointness across workers.
+	oWindow
+	// oLoop: a for-loop variable ranging over [lo, hi).
+	oLoop
+)
+
+// origin is one node of the tree naming a value's source.
+type origin struct {
+	kind   originKind
+	param  int
+	vr     *types.Var
+	field  string
+	base   *origin
+	index  *origin
+	lo, hi *origin
+}
+
+var unknownOrigin = &origin{kind: oUnknown}
+
+// render gives origins a stable, human-readable spelling; it doubles as
+// the dedup key for effects.
+func render(o *origin) string {
+	if o == nil {
+		return "?"
+	}
+	switch o.kind {
+	case oLocal:
+		if o.vr != nil {
+			return o.vr.Name()
+		}
+		return "<local>"
+	case oParam:
+		return fmt.Sprintf("param%d", o.param)
+	case oCaptured, oGlobal:
+		if o.vr != nil {
+			return o.vr.Name()
+		}
+		return "<var>"
+	case oField:
+		return render(o.base) + "." + o.field
+	case oElem:
+		return render(o.base) + "[" + render(o.index) + "]"
+	case oWindow:
+		return render(o.base) + "[...]"
+	case oLoop:
+		return render(o.lo) + ".." + render(o.hi)
+	}
+	return "?"
+}
+
+// rootOf walks to the container at the bottom of a field/index chain.
+func rootOf(o *origin) *origin {
+	for o != nil {
+		switch o.kind {
+		case oField, oElem, oWindow:
+			o = o.base
+		default:
+			return o
+		}
+	}
+	return unknownOrigin
+}
+
+// effect is one potential write in a function summary: target is the
+// written location in terms of the function's own params, captured
+// variables and globals; pos is the syntactic write (preserved through
+// interprocedural substitution so findings point at the real line).
+type effect struct {
+	target *origin
+	pos    token.Pos
+	via    string
+}
+
+func effectKey(e effect) string {
+	return fmt.Sprintf("%d:%s", e.pos, render(e.target))
+}
+
+// callSite is one outgoing call edge. Exactly one of callee/lit is set.
+// args holds the caller-frame origins of the arguments (receiver first
+// for methods); nil args means a conservative fold — the callee's
+// parameters substitute to unknown.
+type callSite struct {
+	callee string
+	lit    *funcNode
+	args   []*origin
+	pos    token.Pos
+}
+
+// funcNode is one function or function literal in the program.
+type funcNode struct {
+	name    string // types.Func FullName for declarations
+	display string // short name for messages
+	pkg     *lint.Package
+	file    *lint.SourceFile
+	fn      ast.Node // *ast.FuncDecl or *ast.FuncLit
+	body    *ast.BlockStmt
+	params  []*types.Var // receiver first; nil entries for unnamed/_
+
+	effects []effect
+	keys    map[string]bool
+	calls   []callSite
+	env     map[*types.Var]*origin
+
+	hot     bool
+	hotRoot string
+}
+
+func (n *funcNode) addEffect(e effect) bool {
+	if len(n.effects) >= maxEffects {
+		return false
+	}
+	k := effectKey(e)
+	if n.keys[k] {
+		return false
+	}
+	n.keys[k] = true
+	n.effects = append(n.effects, e)
+	return true
+}
+
+const (
+	maxEffects     = 300
+	maxRounds      = 25
+	maxOriginDepth = 10
+)
+
+// dispatchSite is one worker-body submission to a Pool-style method.
+type dispatchSite struct {
+	method string
+	body   *funcNode
+	file   *lint.SourceFile
+	pos    token.Pos
+}
+
+// analysis is the whole-program result both passes consume.
+type analysis struct {
+	pkgs     []*lint.Package
+	fset     *token.FileSet
+	nodes    map[string]*funcNode
+	all      []*funcNode
+	relOf    map[string]string
+	dispatch []dispatchSite
+}
+
+// rel maps a token position back to a root-relative file path.
+func (an *analysis) rel(pos token.Pos) string {
+	p := an.fset.Position(pos)
+	if r, ok := an.relOf[p.Filename]; ok {
+		return r
+	}
+	return p.Filename
+}
+
+func (an *analysis) position(pos token.Pos) token.Position {
+	return an.fset.Position(pos)
+}
+
+// analyze builds per-function write-set summaries for every non-test
+// function in pkgs and propagates them to a fixpoint.
+func analyze(pkgs []*lint.Package) *analysis {
+	an := &analysis{
+		pkgs:  pkgs,
+		nodes: map[string]*funcNode{},
+		relOf: map[string]string{},
+	}
+	if len(pkgs) > 0 {
+		an.fset = pkgs[0].Fset
+	}
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			an.relOf[f.Path] = f.Rel
+		}
+	}
+	// Create nodes for every declared function first so call sites in
+	// one package can link to summaries in another by FullName.
+	type declWork struct {
+		node *funcNode
+	}
+	var work []declWork
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			if f.Test {
+				continue // test files carry no type info (see lint.Load)
+			}
+			for _, d := range f.AST.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				n := &funcNode{
+					display: fd.Name.Name,
+					pkg:     p,
+					file:    f,
+					fn:      fd,
+					body:    fd.Body,
+					keys:    map[string]bool{},
+					env:     map[*types.Var]*origin{},
+				}
+				n.name = declName(p, fd)
+				n.params = declParams(p, fd)
+				an.all = append(an.all, n)
+				if n.name != "" {
+					an.nodes[n.name] = n
+				}
+				work = append(work, declWork{n})
+			}
+		}
+	}
+	for _, w := range work {
+		fr := &frame{an: an, node: w.node, lits: map[*types.Var]*funcNode{}}
+		fr.block(w.node.body)
+	}
+	an.fixpoint()
+	an.markHot()
+	return an
+}
+
+// declName returns the cross-package identity of a declared function:
+// the types.Func FullName, which importer-loaded and source-loaded
+// instances agree on even when the object pointers differ.
+func declName(p *lint.Package, fd *ast.FuncDecl) string {
+	if p.Info == nil {
+		return ""
+	}
+	if fn, ok := p.Info.Defs[fd.Name].(*types.Func); ok && fn != nil {
+		return fn.FullName()
+	}
+	return ""
+}
+
+// declParams lists a declaration's parameter variables, receiver first,
+// with nil placeholders for unnamed parameters so indices stay aligned
+// with call-site argument lists.
+func declParams(p *lint.Package, fd *ast.FuncDecl) []*types.Var {
+	var out []*types.Var
+	addField := func(fl *ast.Field) {
+		if len(fl.Names) == 0 {
+			out = append(out, nil)
+			return
+		}
+		for _, nm := range fl.Names {
+			if v, ok := p.Info.Defs[nm].(*types.Var); ok {
+				out = append(out, v)
+			} else {
+				out = append(out, nil)
+			}
+		}
+	}
+	if fd.Recv != nil {
+		for _, fl := range fd.Recv.List {
+			addField(fl)
+		}
+	}
+	if fd.Type.Params != nil {
+		for _, fl := range fd.Type.Params.List {
+			addField(fl)
+		}
+	}
+	return out
+}
+
+// litParams lists a literal's parameter variables.
+func litParams(p *lint.Package, lit *ast.FuncLit) []*types.Var {
+	var out []*types.Var
+	if lit.Type.Params == nil {
+		return out
+	}
+	for _, fl := range lit.Type.Params.List {
+		if len(fl.Names) == 0 {
+			out = append(out, nil)
+			continue
+		}
+		for _, nm := range fl.Names {
+			if v, ok := p.Info.Defs[nm].(*types.Var); ok {
+				out = append(out, v)
+			} else {
+				out = append(out, nil)
+			}
+		}
+	}
+	return out
+}
+
+// fixpoint propagates callee effects into callers until nothing grows:
+// each round substitutes argument origins for parameters, resolves
+// captured variables against the calling frame, and keeps only effects
+// still rooted in something potentially shared.
+func (an *analysis) fixpoint() {
+	for round := 0; round < maxRounds; round++ {
+		changed := false
+		for _, n := range an.all {
+			for _, cs := range n.calls {
+				callee := cs.lit
+				if callee == nil {
+					callee = an.nodes[cs.callee]
+				}
+				if callee == nil || callee == n {
+					continue
+				}
+				for _, ef := range callee.effects {
+					t := substOrigin(ef.target, cs, n, 0)
+					switch rootOf(t).kind {
+					case oLocal, oUnknown:
+						continue
+					}
+					via := ef.via
+					if via == "" {
+						via = callee.display
+					}
+					if n.addEffect(effect{target: t, pos: ef.pos, via: via}) {
+						changed = true
+					}
+				}
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// substOrigin rewrites a callee-frame origin into the caller's frame at
+// one call site: parameters become argument origins, captured variables
+// resolve against the caller, and everything else passes through.
+func substOrigin(o *origin, cs callSite, caller *funcNode, depth int) *origin {
+	if o == nil || depth > maxOriginDepth {
+		return unknownOrigin
+	}
+	switch o.kind {
+	case oParam:
+		if cs.args != nil && o.param >= 0 && o.param < len(cs.args) && cs.args[o.param] != nil {
+			return cs.args[o.param]
+		}
+		return unknownOrigin
+	case oCaptured:
+		return resolveCaptured(o.vr, caller)
+	case oField:
+		return &origin{kind: oField, field: o.field, base: substOrigin(o.base, cs, caller, depth+1)}
+	case oElem:
+		return &origin{kind: oElem,
+			base:  substOrigin(o.base, cs, caller, depth+1),
+			index: substOrigin(o.index, cs, caller, depth+1)}
+	case oWindow:
+		return &origin{kind: oWindow, base: substOrigin(o.base, cs, caller, depth+1)}
+	case oLoop:
+		return &origin{kind: oLoop,
+			lo: substOrigin(o.lo, cs, caller, depth+1),
+			hi: substOrigin(o.hi, cs, caller, depth+1)}
+	}
+	return o
+}
+
+// resolveCaptured re-homes a captured variable relative to fn: it may
+// be one of fn's parameters, a local with a known alias, a local plain
+// and simple, or captured from further out still.
+func resolveCaptured(vr *types.Var, fn *funcNode) *origin {
+	if vr == nil {
+		return unknownOrigin
+	}
+	for i, p := range fn.params {
+		if p == vr {
+			return &origin{kind: oParam, param: i}
+		}
+	}
+	if e, ok := fn.env[vr]; ok {
+		return e
+	}
+	if fn.fn != nil && vr.Pos() >= fn.fn.Pos() && vr.Pos() < fn.fn.End() {
+		return &origin{kind: oLocal, vr: vr}
+	}
+	return &origin{kind: oCaptured, vr: vr}
+}
+
+// frame is the per-function walk state.
+type frame struct {
+	an     *analysis
+	node   *funcNode
+	parent *frame
+	lits   map[*types.Var]*funcNode
+}
+
+func (fr *frame) info() *types.Info { return fr.node.pkg.Info }
+
+// lookupVar classifies an identifier's variable in this frame.
+func (fr *frame) lookupVar(vr *types.Var) *origin {
+	if vr == nil {
+		return unknownOrigin
+	}
+	if o, ok := fr.node.env[vr]; ok {
+		return o
+	}
+	for i, p := range fr.node.params {
+		if p == vr {
+			return &origin{kind: oParam, param: i}
+		}
+	}
+	if vr.Pkg() != nil && vr.Parent() == vr.Pkg().Scope() {
+		return &origin{kind: oGlobal, vr: vr}
+	}
+	if fr.node.fn != nil && vr.Pos() >= fr.node.fn.Pos() && vr.Pos() < fr.node.fn.End() {
+		return &origin{kind: oLocal, vr: vr}
+	}
+	return &origin{kind: oCaptured, vr: vr}
+}
+
+// litFor finds the literal bound to a local variable, searching
+// enclosing frames so a worker body can call a closure its parent
+// defined.
+func (fr *frame) litFor(vr *types.Var) *funcNode {
+	for f := fr; f != nil; f = f.parent {
+		if n, ok := f.lits[vr]; ok {
+			return n
+		}
+	}
+	return nil
+}
+
+// isLocalHere reports whether vr belongs to this frame's function
+// (param or local), as opposed to being captured or global.
+func (fr *frame) isLocalHere(vr *types.Var) bool {
+	if vr == nil {
+		return false
+	}
+	for _, p := range fr.node.params {
+		if p == vr {
+			return true
+		}
+	}
+	if vr.Pkg() != nil && vr.Parent() == vr.Pkg().Scope() {
+		return false
+	}
+	return fr.node.fn != nil && vr.Pos() >= fr.node.fn.Pos() && vr.Pos() < fr.node.fn.End()
+}
+
+// varOf resolves an identifier to its variable, or nil.
+func (fr *frame) varOf(id *ast.Ident) *types.Var {
+	info := fr.info()
+	if info == nil {
+		return nil
+	}
+	if v, ok := info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+// typeOf returns the static type of e, or nil when unknown.
+func (fr *frame) typeOf(e ast.Expr) types.Type {
+	info := fr.info()
+	if info == nil {
+		return nil
+	}
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// isConversion reports whether call is a type conversion.
+func (fr *frame) isConversion(call *ast.CallExpr) bool {
+	info := fr.info()
+	if info == nil {
+		return false
+	}
+	tv, ok := info.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+// builtinName returns the builtin a call invokes ("" when not one).
+func (fr *frame) builtinName(call *ast.CallExpr) string {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	info := fr.info()
+	if info != nil {
+		if obj := info.Uses[id]; obj != nil {
+			if _, isB := obj.(*types.Builtin); !isB {
+				return "" // shadowed
+			}
+		}
+	}
+	switch id.Name {
+	case "make", "new", "append", "copy", "delete", "len", "cap", "clear":
+		return id.Name
+	}
+	return ""
+}

@@ -1,0 +1,21 @@
+package app
+
+import "fixture/internal/strategy"
+
+// ScatterDensity pins the precision split inside one closure: the same
+// function writes rho twice, once through the worker's own block index
+// (provably confined at the call site) and once through a neighbor
+// index (racy). Exactly the second write may be flagged.
+func ScatterDensity(pool *strategy.Pool, rho []float64, neigh [][]int32) {
+	deposit := func(i, j int32) {
+		rho[i] += 1
+		rho[j] += 1
+	}
+	pool.ParallelFor(len(neigh), func(start, end, tid int) {
+		for i := start; i < end; i++ {
+			for _, j := range neigh[i] {
+				deposit(int32(i), j)
+			}
+		}
+	})
+}

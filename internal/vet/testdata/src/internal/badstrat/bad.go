@@ -1,0 +1,45 @@
+// Package badstrat re-implements the SDC pair reduction outside the
+// approved strategy package and without the coloring: its scatters to
+// out[j] race between workers, and sdcvet must flag every one.
+package badstrat
+
+import "fixture/internal/strategy"
+
+// BrokenReducer is the uncolored reducer the dynamic CheckedReducer
+// catches at runtime; the static analyzer must catch it here.
+type BrokenReducer struct {
+	Pool  *strategy.Pool
+	Neigh [][]int32
+}
+
+// SweepScalar writes out[i] (block-confined, fine) and out[j]
+// (neighbor-indexed, a race).
+func (r *BrokenReducer) SweepScalar(out []float64, visit func(i, j int32) (float64, float64)) {
+	r.Pool.ParallelFor(len(r.Neigh), func(start, end, tid int) {
+		for i := start; i < end; i++ {
+			for _, j := range r.Neigh[i] {
+				ci, cj := visit(int32(i), j)
+				out[i] += ci
+				out[j] += cj
+			}
+		}
+	})
+}
+
+// SweepVector does the same over [3]float64 slots; the analyzer must
+// peel the value-array index and flag each out[j] component line.
+func (r *BrokenReducer) SweepVector(out [][3]float64, visit func(i, j int32) ([3]float64, [3]float64)) {
+	r.Pool.ParallelFor(len(r.Neigh), func(start, end, tid int) {
+		for i := start; i < end; i++ {
+			for _, j := range r.Neigh[i] {
+				ci, cj := visit(int32(i), j)
+				out[i][0] += ci[0]
+				out[i][1] += ci[1]
+				out[i][2] += ci[2]
+				out[j][0] += cj[0]
+				out[j][1] += cj[1]
+				out[j][2] += cj[2]
+			}
+		}
+	})
+}

@@ -1,0 +1,64 @@
+// Package force holds the hot-loop hazard fixtures: Compute and
+// SweepVector are kernel roots by name, helperHot is hot only by
+// reachability, and coldAlloc is the unreachable negative control.
+package force
+
+// Boxer is the interface a kernel value gets boxed into.
+type Boxer interface{ Box() }
+
+// Item is a concrete kernel element.
+type Item struct{ V float64 }
+
+// Box implements Boxer.
+func (Item) Box() {}
+
+// Table is an EAM-style interpolation table with an allocation-happy
+// Compute that pins one finding per hazard line.
+type Table struct {
+	Coeff map[int]float64
+	Items []Item
+}
+
+func release([]float64) {}
+
+// Compute allocates, grows, defers and walks a map inside its atom
+// loop — four distinct hot-loop findings.
+func (t *Table) Compute(out []float64) {
+	for i := range out {
+		buf := make([]float64, 4)
+		buf = append(buf, float64(i))
+		defer release(buf)
+		for k, c := range t.Coeff {
+			out[i] += c * float64(k)
+		}
+	}
+	helperHot(out)
+}
+
+// helperHot is hot only because Compute calls it.
+func helperHot(out []float64) {
+	for i := range out {
+		tmp := make([]float64, 1)
+		out[i] += tmp[0]
+	}
+}
+
+// SweepVector boxes a concrete element into an interface per
+// iteration — one finding.
+func (t *Table) SweepVector(out [][3]float64) {
+	for i := range t.Items {
+		b := Boxer(t.Items[i])
+		_ = b
+		out[i][0] += 1
+	}
+}
+
+// coldAlloc is unreachable from any kernel root; its in-loop append
+// must not be flagged.
+func coldAlloc(xs []float64) []float64 {
+	var out []float64
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}

@@ -1,0 +1,85 @@
+// Package vet implements the interprocedural write-set analyses of
+// sdcvet, the static counterpart of strategy.CheckedReducer. The
+// paper's SDC correctness argument (§II.B) licenses exactly one kind of
+// unsynchronized shared write: reduction-array updates issued inside an
+// approved reducer, where the coloring proves same-phase disjointness.
+// Everything else a Pool worker body writes must be provably private —
+// thread-confined (indexed by tid or the worker's round-robin k),
+// block-confined (indexed by the worker's [start, end) loop), or local
+// to the body. The sdc-shared-write pass checks that discipline over
+// the whole program: it summarizes which parameter, captured and global
+// slices every function may write, propagates the summaries bottom-up
+// through calls and closures, and flags any worker-body write to a
+// shared array whose confinement it cannot prove and whose file is not
+// on the approved-reducer list.
+//
+// The hot-loop pass rides on the same call graph: functions reachable
+// from Compute or the force sweeps are kernel-hot, and allocations
+// (make, new, growing append, interface boxing), defer, and map
+// iteration inside their loops are per-sweep costs the paper's timing
+// model never budgets for.
+//
+// Soundness: the analysis under-approximates. Calls it cannot resolve
+// statically (interface methods, func-typed parameters and fields) are
+// assumed to write nothing, writes whose base it cannot name are
+// skipped, and lock-based synchronization is not modeled — a mutex-
+// guarded write outside an approved file is still flagged. The dynamic
+// checker covers the first two gaps at runtime; the third is policy
+// (ad-hoc locking in worker bodies is what the strategy layer exists to
+// replace). See DESIGN.md, "Correctness tooling".
+package vet
+
+import (
+	"sync"
+
+	"sdcmd/internal/lint"
+)
+
+// ApprovedPaths lists the path prefixes (or exact files, slash-
+// separated and relative to the linted root) whose worker-body writes
+// to shared reduction arrays are exempt: the reducer implementations
+// whose disjointness the schedule audit and the dynamic checker prove.
+var ApprovedPaths = []string{
+	"internal/strategy/",
+}
+
+// Passes returns the sdcvet analyses, sharing one whole-program
+// write-set analysis between them.
+func Passes() []lint.Pass {
+	sh := &shared{}
+	return []lint.Pass{
+		&workerWritePass{sh: sh},
+		&hotLoopPass{sh: sh},
+	}
+}
+
+// shared memoizes the analysis so the driver's sequential passes do not
+// recompute summaries for the same program.
+type shared struct {
+	mu   sync.Mutex
+	pkgs []*lint.Package
+	an   *analysis
+}
+
+func (s *shared) analysisFor(pkgs []*lint.Package) *analysis {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.an != nil && samePkgs(s.pkgs, pkgs) {
+		return s.an
+	}
+	s.pkgs = pkgs
+	s.an = analyze(pkgs)
+	return s.an
+}
+
+func samePkgs(a, b []*lint.Package) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
