@@ -1,6 +1,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"os"
 	"time"
@@ -31,8 +33,10 @@ type guardedArgs struct {
 // runGuarded drives a simulation under the fault-tolerant supervisor.
 // With -resume, -steps is the absolute step target: the run continues
 // from the checkpoint's step up to it, bit-for-bit identical to a run
-// that was never interrupted.
-func runGuarded(a guardedArgs) (retErr error) {
+// that was never interrupted. A canceled ctx (SIGINT/SIGTERM) stops the
+// run within one MD step, writes a final checkpoint where one was
+// configured, flushes the event/metrics sinks and exits nonzero.
+func runGuarded(ctx context.Context, a guardedArgs) (retErr error) {
 	if a.restorePath != "" {
 		return fmt.Errorf("-restore is the unguarded resume; with -guard use -resume -checkpoint <path>")
 	}
@@ -121,13 +125,17 @@ func runGuarded(a guardedArgs) (retErr error) {
 	}
 	// -steps is absolute; a fresh run starts at 0, a resumed one at the
 	// checkpoint step, so the remaining work is the difference.
-	for sim.StepCount() < a.steps {
+	interrupted := false
+	for sim.StepCount() < a.steps && !interrupted {
 		chunk := a.every
 		if left := a.steps - sim.StepCount(); chunk > left {
 			chunk = left
 		}
-		if err := sim.Run(chunk); err != nil {
-			return err
+		if err := sim.RunContext(ctx, chunk); err != nil {
+			if !errors.Is(err, sdcmd.ErrCanceled) {
+				return err
+			}
+			interrupted = true
 		}
 		if err := report(); err != nil {
 			return err
@@ -150,6 +158,9 @@ func runGuarded(a guardedArgs) (retErr error) {
 	}
 	if a.metrics.enabled() {
 		printPhaseSummary(sim.Metrics())
+	}
+	if interrupted {
+		return interruptedErr(sim.StepCount(), "events, metrics and checkpoint")
 	}
 	return nil
 }

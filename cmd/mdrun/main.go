@@ -27,9 +27,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"sdcmd"
@@ -51,7 +55,24 @@ func closeKeep(f *os.File, retErr *error) {
 	}
 }
 
+// interruptedErr renders the cancellation outcome: the run context was
+// canceled by SIGINT/SIGTERM, everything that buffers (metrics stream,
+// thermo log, checkpoint) has been flushed by the time run returns, and
+// the process exits nonzero so callers can tell a cut-short run from a
+// completed one.
+func interruptedErr(step int, flushed string) error {
+	return fmt.Errorf("interrupted by signal at step %d (%s flushed); exiting nonzero", step, flushed)
+}
+
 func run(args []string) (retErr error) {
+	// SIGINT/SIGTERM cancel the run context: the integrator stops at the
+	// next step boundary, the deferred shutdowns flush the JSONL metrics
+	// stream and close files, and a final checkpoint is written where
+	// one was requested. A second signal kills the process the default
+	// way (NotifyContext unregisters after the first).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	fs := flag.NewFlagSet("mdrun", flag.ContinueOnError)
 	cells := fs.Int("cells", 8, "bcc supercells per side (atoms = 2*cells^3)")
 	steps := fs.Int("steps", 100, "timesteps to run")
@@ -87,7 +108,7 @@ func run(args []string) (retErr error) {
 	}
 	metrics := metricsArgs{addr: *metricsAddr, logPath: *metricsLog, every: *metricsEvery}
 	if *guardOn || *ckptEvery > 0 || *resume {
-		return runGuarded(guardedArgs{
+		return runGuarded(ctx, guardedArgs{
 			cells: *cells, steps: *steps, temp: *temp, strat: *strat,
 			threads: *threads, dim: *dim, dt: *dt, seed: *seed,
 			johnson: *johnson, thermostat: *thermostat, jitter: *jitter,
@@ -175,15 +196,21 @@ func run(args []string) (retErr error) {
 	if err := report(); err != nil {
 		return err
 	}
-	for done := 0; done < *steps; {
+	interrupted := false
+	for done := 0; done < *steps && !interrupted; {
 		chunk := *every
 		if done+chunk > *steps {
 			chunk = *steps - done
 		}
-		if err := sim.Run(chunk); err != nil {
-			return err
+		if err := sim.RunContext(ctx, chunk); err != nil {
+			if !errors.Is(err, sdcmd.ErrCanceled) {
+				return err
+			}
+			// Fall through: report, checkpoint and flush the partial
+			// run, then exit nonzero below.
+			interrupted = true
 		}
-		done += chunk
+		done = sim.StepCount()
 		if err := report(); err != nil {
 			return err
 		}
@@ -206,6 +233,9 @@ func run(args []string) (retErr error) {
 	}
 	if metrics.enabled() {
 		printPhaseSummary(sim.Metrics())
+	}
+	if interrupted {
+		return interruptedErr(sim.StepCount(), "logs, metrics and checkpoint")
 	}
 	return nil
 }

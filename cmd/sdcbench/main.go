@@ -6,6 +6,7 @@
 //	sdcbench -experiment numa                # §V future-work NUMA study
 //	sdcbench -experiment cluster             # §V future-work hybrid cluster study
 //	sdcbench -experiment all                 # everything
+//	sdcbench -experiment serve               # job-service throughput -> BENCH_serve.json
 //	sdcbench -experiment table1 -mode measured -cells 10 -steps 20
 //
 // Model mode (default) predicts the paper's 16-core Xeon E7320 testbed
@@ -18,6 +19,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +27,7 @@ import (
 	"strings"
 
 	"sdcmd"
+	"sdcmd/internal/serve"
 )
 
 func main() {
@@ -36,15 +39,21 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("sdcbench", flag.ContinueOnError)
-	exp := fs.String("experiment", "all", "table1|fig9|reorder|numa|cluster|all")
+	exp := fs.String("experiment", "all", "table1|fig9|reorder|numa|cluster|serve|all")
 	mode := fs.String("mode", "model", "model (predict paper testbed) | measured (time this host)")
 	cells := fs.Int("cells", 8, "measured mode: replica cells per side")
 	steps := fs.Int("steps", 10, "measured mode: timed force evaluations")
 	threads := fs.String("threads", "", "comma-separated thread counts (default 2,3,4,8,12,16)")
 	csvOut := fs.Bool("csv", false, "emit machine-readable CSV instead of tables")
 	check := fs.Bool("check", false, "verify all strategies with the dynamic write-set check first; measured sweeps run checked")
+	serveJobs := fs.Int("serve-jobs", 8, "serve experiment: jobs to push through the service")
+	serveShards := fs.Int("serve-shards", 2, "serve experiment: concurrent shards")
+	serveOut := fs.String("serve-out", "BENCH_serve.json", "serve experiment: machine-readable output file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *exp == "serve" {
+		return runServeBench(*serveJobs, *serveShards, *steps, *serveOut)
 	}
 
 	var ts []int
@@ -78,5 +87,28 @@ func run(args []string) error {
 			return err
 		}
 	}
+	return nil
+}
+
+// runServeBench pushes jobs through a live sdcserve instance on a
+// loopback port and writes the throughput/latency summary as JSON. It
+// is not part of -experiment all: it measures service overhead, not
+// the paper's force-loop evaluation.
+func runServeBench(jobs, shards, steps int, out string) error {
+	res, err := serve.RunBench(serve.BenchOptions{Jobs: jobs, MaxJobs: shards, Steps: steps})
+	if err != nil {
+		return fmt.Errorf("serve bench: %w", err)
+	}
+	fmt.Printf("serve bench: %d jobs over %d shards in %.3fs — %.1f jobs/s, p50 %.1f ms, p95 %.1f ms, cache hit %.2f ms\n",
+		res.Jobs, res.Shards, res.WallSeconds, res.JobsPerSec, res.P50Ms, res.P95Ms, res.CacheHitMs)
+	b, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if err := os.WriteFile(out, b, 0o644); err != nil {
+		return fmt.Errorf("serve bench: write %s: %w", out, err)
+	}
+	fmt.Printf("wrote %s\n", out)
 	return nil
 }

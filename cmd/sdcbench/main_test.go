@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestRunExperiments(t *testing.T) {
 	for _, exp := range []string{"table1", "numa"} {
@@ -21,6 +26,30 @@ func TestRunChecked(t *testing.T) {
 	if err := run([]string{"-experiment", "reorder", "-check", "-mode", "measured",
 		"-cells", "6", "-steps", "1", "-threads", "2"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunServeBench(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	if err := run([]string{"-experiment", "serve", "-serve-jobs", "3",
+		"-serve-shards", "2", "-steps", "10", "-serve-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res struct {
+		Jobs       int     `json:"jobs"`
+		JobsPerSec float64 `json:"jobs_per_sec"`
+		P50        float64 `json:"p50_ms"`
+		P95        float64 `json:"p95_ms"`
+	}
+	if err := json.Unmarshal(b, &res); err != nil {
+		t.Fatalf("BENCH_serve.json: %v", err)
+	}
+	if res.Jobs != 3 || res.JobsPerSec <= 0 || res.P50 <= 0 || res.P95 < res.P50 {
+		t.Errorf("implausible bench output: %+v", res)
 	}
 }
 

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-no-such-flag"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	if err := run([]string{"-addr", "not-an-address"}); err == nil ||
+		!strings.Contains(err.Error(), "listen") {
+		t.Errorf("bad listen address: err = %v", err)
+	}
+}
+
+// TestRunDrainsOnSignal drives the whole binary path: start on a free
+// port, deliver SIGTERM to ourselves, and require a clean drained exit.
+func TestRunDrainsOnSignal(t *testing.T) {
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-max-jobs", "1", "-queue", "2"})
+	}()
+	// Give the listener a moment to come up before signaling.
+	time.Sleep(100 * time.Millisecond)
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("drain exit: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not drain after SIGTERM")
+	}
+}

@@ -1,0 +1,105 @@
+package guard
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"sdcmd/internal/md"
+)
+
+func TestRunCtxPreCanceledIsNotAFault(t *testing.T) {
+	sup, err := New(feSystem(t, 3, 150), md.DefaultConfig(), Policy{CheckEvery: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sup.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err = sup.RunCtx(ctx, 20)
+	if !errors.Is(err, md.ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v, want md.ErrCanceled wrapping context.Canceled", err)
+	}
+	if sup.Retries() != 0 {
+		t.Errorf("cancellation spent %d retries", sup.Retries())
+	}
+	if len(sup.Events()) != 0 {
+		t.Errorf("cancellation logged events: %v", sup.Events())
+	}
+	if sup.StepCount() != 0 {
+		t.Errorf("pre-canceled run advanced to step %d", sup.StepCount())
+	}
+}
+
+func TestRunCtxCancelMidChunkFoldsCompletedSteps(t *testing.T) {
+	sup, err := New(feSystem(t, 3, 150), md.DefaultConfig(), Policy{CheckEvery: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sup.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	const target = 10_000_000
+	err = sup.RunCtx(ctx, target)
+	if !errors.Is(err, md.ErrCanceled) {
+		t.Fatalf("mid-chunk cancel returned %v, want md.ErrCanceled", err)
+	}
+	n := sup.StepCount()
+	if n <= 0 || n >= target {
+		t.Errorf("absolute step %d after cancel, want 0 < n < %d", n, target)
+	}
+	if sup.Retries() != 0 {
+		t.Errorf("cancellation spent %d retries", sup.Retries())
+	}
+	// The folded counter must agree with the simulator's own step count:
+	// the state is the last completed step.
+	if sim := sup.sim.StepCount(); sim != n {
+		t.Errorf("absStep %d != simulator steps %d after fold", n, sim)
+	}
+}
+
+func TestRunCtxCanceledStateIsCheckpointable(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "drain.sdck")
+	sup, err := New(feSystem(t, 3, 150), md.DefaultConfig(),
+		Policy{CheckEvery: 1000, CheckpointPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sup.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	if err := sup.RunCtx(ctx, 10_000_000); !errors.Is(err, md.ErrCanceled) {
+		t.Fatalf("cancel returned %v", err)
+	}
+	stopped := sup.StepCount()
+	if err := sup.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint after cancel: %v", err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("checkpoint file missing: %v", err)
+	}
+	// The resumed supervisor continues from exactly the canceled step.
+	res, err := Resume(path, md.DefaultConfig(), Policy{CheckEvery: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Close()
+	if res.StepCount() != stopped {
+		t.Errorf("resume starts at step %d, want %d", res.StepCount(), stopped)
+	}
+	if err := res.Run(5); err != nil {
+		t.Errorf("resumed run failed: %v", err)
+	}
+}

@@ -1,6 +1,7 @@
 package guard
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -160,7 +161,16 @@ func (s *Supervisor) anchorEnergy() {
 // degrades per policy; the error return is reserved for unrecoverable
 // situations (retry budget spent, checkpoint I/O failure, rollback
 // impossible).
-func (s *Supervisor) Run(n int) error {
+func (s *Supervisor) Run(n int) error { return s.RunCtx(context.Background(), n) }
+
+// RunCtx is Run with cancellation. The context is threaded down to the
+// integrator's per-step check, so a canceled run stops within one MD
+// step; the returned error wraps md.ErrCanceled (and the context's own
+// error), is NOT treated as a fault — no retry is spent, no rollback
+// happens — and the absolute step counter is advanced to the completed
+// steps of the interrupted chunk, so the state and StepCount stay
+// consistent and Checkpoint may be called right after.
+func (s *Supervisor) RunCtx(ctx context.Context, n int) error {
 	if s.closed {
 		return errors.New("guard: supervisor is closed")
 	}
@@ -169,9 +179,21 @@ func (s *Supervisor) Run(n int) error {
 	}
 	target := s.absStep + n
 	for s.absStep < target {
+		if cerr := ctx.Err(); cerr != nil {
+			return fmt.Errorf("guard: %w at step %d: %w", md.ErrCanceled, s.absStep, cerr)
+		}
 		k := min(s.pol.CheckEvery, target-s.absStep)
 		stall := s.pol.Inject.stallFor(s.absStep, k)
-		err := stepWithWatchdog(s.sim, k, s.pol.StepDeadline, stall, s.absStep)
+		simBefore := s.sim.StepCount()
+		err := stepWithWatchdog(ctx, s.sim, k, s.pol.StepDeadline, stall, s.absStep)
+		if errors.Is(err, md.ErrCanceled) {
+			// Cancellation is a stop request, not a physics fault: the
+			// integrator halted at a step boundary, so fold the completed
+			// sub-chunk into the absolute counter and hand the consistent
+			// state back untouched.
+			s.absStep += s.sim.StepCount() - simBefore
+			return fmt.Errorf("guard: %w", err)
+		}
 		if err == nil {
 			s.absStep += k
 			for _, inj := range s.pol.Inject.corrupt(s.sys, s.absStep) {

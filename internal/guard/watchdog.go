@@ -1,6 +1,7 @@
 package guard
 
 import (
+	"context"
 	"time"
 
 	"sdcmd/internal/md"
@@ -18,16 +19,16 @@ import (
 // closes the simulator when the step finally returns (or leaks it if it
 // never does — that is what the watchdog is for). The caller must
 // abandon the simulator AND its system and rebuild from a snapshot.
-func stepWithWatchdog(sim *md.Simulator, n int, deadline, stall time.Duration, step int) error {
+func stepWithWatchdog(ctx context.Context, sim *md.Simulator, n int, deadline, stall time.Duration, step int) error {
 	if deadline <= 0 && stall <= 0 {
-		return sim.Step(n)
+		return sim.StepCtx(ctx, n)
 	}
 	done := make(chan error, 1)
 	go func() {
 		if stall > 0 {
 			time.Sleep(stall)
 		}
-		done <- sim.Step(n)
+		done <- sim.StepCtx(ctx, n)
 	}()
 	if deadline <= 0 {
 		return <-done // stall injection without a watchdog: just slow

@@ -25,6 +25,11 @@ func DefaultRules() []Rule {
 			// concurrently with the simulation; no force-loop work runs
 			// on them.
 			"internal/telemetry/",
+			// The job service's shard workers and HTTP accept loop are
+			// scheduler/transport control plane: each shard runs whole
+			// jobs sequentially, and every force sweep inside a job
+			// still routes through strategy.Pool.
+			"internal/serve/",
 		}},
 		&CSOnlyAtomics{Allowed: []string{
 			"internal/strategy/cs.go",

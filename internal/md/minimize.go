@@ -1,6 +1,7 @@
 package md
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -29,6 +30,14 @@ type MinimizeResult struct {
 // energetics) depend on this: the defective cell must be relaxed before
 // its energy means anything.
 func (s *Simulator) Minimize(maxSteps int, fTol float64) (MinimizeResult, error) {
+	return s.MinimizeCtx(context.Background(), maxSteps, fTol)
+}
+
+// MinimizeCtx is Minimize with cancellation: ctx is checked at every
+// descent-step boundary, and a canceled context stops the relaxation
+// with an error wrapping ErrCanceled. The partial result reports the
+// steps taken so far.
+func (s *Simulator) MinimizeCtx(ctx context.Context, maxSteps int, fTol float64) (MinimizeResult, error) {
 	if s.closed {
 		return MinimizeResult{}, fmt.Errorf("md: simulator is closed")
 	}
@@ -50,6 +59,9 @@ func (s *Simulator) Minimize(maxSteps int, fTol float64) (MinimizeResult, error)
 	vec.Fill(s.Sys.Vel, vec.Vec3{})
 	res := MinimizeResult{}
 	for step := 0; step < maxSteps; step++ {
+		if err := ctx.Err(); err != nil {
+			return res, cancelError(step, err)
+		}
 		res.Steps = step + 1
 		// FIRE velocity mixing.
 		power := 0.0

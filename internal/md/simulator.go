@@ -1,6 +1,7 @@
 package md
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -352,8 +353,30 @@ func (s *Simulator) computeForces() error {
 	return nil
 }
 
+// ErrCanceled is the errors.Is sentinel for a run stopped by context
+// cancellation. Every cancellation error returned by StepCtx,
+// MinimizeCtx and the supervisors wraps both ErrCanceled and the
+// context's own error (context.Canceled or context.DeadlineExceeded),
+// so callers can distinguish an intentional stop from a physics fault
+// with errors.Is(err, ErrCanceled). A canceled run always stops at a
+// step boundary: positions, velocities and forces are those of the last
+// completed step, so the state remains checkpointable.
+var ErrCanceled = errors.New("run canceled")
+
+// cancelError wraps the sentinel and the context cause with the step at
+// which the run stopped.
+func cancelError(step int, cause error) error {
+	return fmt.Errorf("md: %w at step %d: %w", ErrCanceled, step, cause)
+}
+
 // Step advances n velocity-Verlet steps.
-func (s *Simulator) Step(n int) error {
+func (s *Simulator) Step(n int) error { return s.StepCtx(context.Background(), n) }
+
+// StepCtx advances up to n velocity-Verlet steps, checking ctx at every
+// step boundary: a canceled context stops the run before the next step
+// starts and returns an error wrapping ErrCanceled, with the system
+// left in the consistent state of the last completed step.
+func (s *Simulator) StepCtx(ctx context.Context, n int) error {
 	if s.closed {
 		return errors.New("md: simulator is closed")
 	}
@@ -363,6 +386,9 @@ func (s *Simulator) Step(n int) error {
 	// (timestep too large for the current temperature).
 	maxStep := s.Sys.Box.Lengths().MinComponent() / 4
 	for k := 0; k < n; k++ {
+		if err := ctx.Err(); err != nil {
+			return cancelError(s.step, err)
+		}
 		for i := range s.Sys.Pos {
 			s.Sys.Vel[i] = s.Sys.Vel[i].AddScaled(0.5*dt/s.Sys.MassOf(i), s.Sys.Force[i])
 			move := s.Sys.Vel[i].Scale(dt)

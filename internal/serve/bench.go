@@ -1,0 +1,183 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"time"
+)
+
+// BenchOptions sizes the service throughput benchmark.
+type BenchOptions struct {
+	// Jobs is how many distinct jobs to submit (default 8; the specs
+	// differ only by seed so they never coalesce).
+	Jobs int
+	// MaxJobs is the shard count of the benched scheduler (default 2).
+	MaxJobs int
+	// Cells and Steps size each job (defaults 3 and 20 — small on
+	// purpose: the benchmark measures service overhead and scheduling,
+	// not force-loop throughput, which sdcbench's other experiments
+	// cover).
+	Cells int
+	Steps int
+}
+
+// BenchResult is the machine-readable output of RunBench
+// (BENCH_serve.json).
+type BenchResult struct {
+	Jobs        int     `json:"jobs"`
+	Shards      int     `json:"shards"`
+	WallSeconds float64 `json:"wall_seconds"`
+	JobsPerSec  float64 `json:"jobs_per_sec"`
+	// P50Ms and P95Ms are submit-to-done latency percentiles in
+	// milliseconds, queue wait included.
+	P50Ms float64 `json:"p50_ms"`
+	P95Ms float64 `json:"p95_ms"`
+	// CacheHitMs is the latency of resubmitting the first spec after
+	// completion — the content-addressed cache path.
+	CacheHitMs float64 `json:"cache_hit_ms"`
+}
+
+// RunBench stands up a real server on a loopback port, pushes Jobs
+// distinct jobs through the full HTTP path, polls them to completion
+// and reports throughput and latency percentiles, plus the latency of
+// one cache-hit resubmission.
+func RunBench(o BenchOptions) (BenchResult, error) {
+	if o.Jobs <= 0 {
+		o.Jobs = 8
+	}
+	if o.MaxJobs <= 0 {
+		o.MaxJobs = 2
+	}
+	if o.Cells <= 0 {
+		o.Cells = 3
+	}
+	if o.Steps <= 0 {
+		o.Steps = 20
+	}
+	sched, err := NewScheduler(Options{MaxJobs: o.MaxJobs, Queue: o.Jobs + 1, CheckEvery: 10})
+	if err != nil {
+		return BenchResult{}, err
+	}
+	srv, err := Start("127.0.0.1:0", sched)
+	if err != nil {
+		_ = sched.Drain()
+		return BenchResult{}, err
+	}
+	defer func() {
+		_ = srv.Close()
+		_ = sched.Drain()
+	}()
+	base := "http://" + srv.Addr()
+
+	submit := func(seed int64) (string, time.Time, error) {
+		spec := JobSpec{Cells: o.Cells, Steps: o.Steps, Seed: seed}
+		body, err := json.Marshal(spec)
+		if err != nil {
+			return "", time.Time{}, err
+		}
+		t0 := time.Now()
+		resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return "", time.Time{}, err
+		}
+		defer func() { _ = resp.Body.Close() }()
+		if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
+			return "", time.Time{}, fmt.Errorf("serve: bench submit: status %d", resp.StatusCode)
+		}
+		var st Status
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			return "", time.Time{}, err
+		}
+		return st.ID, t0, nil
+	}
+	poll := func(id string) (Status, error) {
+		resp, err := http.Get(base + "/jobs/" + id)
+		if err != nil {
+			return Status{}, err
+		}
+		defer func() { _ = resp.Body.Close() }()
+		var st Status
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			return Status{}, err
+		}
+		return st, nil
+	}
+
+	wall0 := time.Now()
+	ids := make([]string, o.Jobs)
+	t0s := make([]time.Time, o.Jobs)
+	for i := 0; i < o.Jobs; i++ {
+		id, t0, err := submit(int64(i + 1))
+		if err != nil {
+			return BenchResult{}, err
+		}
+		ids[i], t0s[i] = id, t0
+	}
+	lat := make([]float64, o.Jobs)
+	for pending := o.Jobs; pending > 0; {
+		for i, id := range ids {
+			if lat[i] > 0 {
+				continue
+			}
+			st, err := poll(id)
+			if err != nil {
+				return BenchResult{}, err
+			}
+			switch st.State {
+			case StateDone:
+				lat[i] = time.Since(t0s[i]).Seconds() * 1e3
+				pending--
+			case StateFailed, StateCanceled:
+				return BenchResult{}, fmt.Errorf("serve: bench job %s ended %s: %s", id, st.State, st.Error)
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	wall := time.Since(wall0).Seconds()
+
+	// One resubmission of the first spec: must be a cache hit, i.e.
+	// done the moment the POST returns.
+	c0 := time.Now()
+	id, _, err := submit(1)
+	if err != nil {
+		return BenchResult{}, err
+	}
+	st, err := poll(id)
+	if err != nil {
+		return BenchResult{}, err
+	}
+	if st.State != StateDone {
+		return BenchResult{}, fmt.Errorf("serve: bench resubmit not served from cache (state %s)", st.State)
+	}
+	cacheMs := time.Since(c0).Seconds() * 1e3
+
+	sort.Float64s(lat)
+	return BenchResult{
+		Jobs:        o.Jobs,
+		Shards:      o.MaxJobs,
+		WallSeconds: wall,
+		JobsPerSec:  float64(o.Jobs) / wall,
+		P50Ms:       percentile(lat, 0.50),
+		P95Ms:       percentile(lat, 0.95),
+		CacheHitMs:  cacheMs,
+	}, nil
+}
+
+// percentile reads the p-th percentile (nearest-rank) from sorted data.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}

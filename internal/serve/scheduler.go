@@ -1,0 +1,649 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"sdcmd/internal/guard"
+	"sdcmd/internal/md"
+	"sdcmd/internal/telemetry"
+)
+
+// Cancellation causes, distinguished via context.Cause: a client DELETE
+// abandons the job, a server drain checkpoints it for resume.
+var (
+	errClientCancel = errors.New("serve: job canceled by client")
+	errDrain        = errors.New("serve: server draining")
+)
+
+// Options configures the scheduler. Zero fields take defaults.
+type Options struct {
+	// MaxJobs is the number of shards — jobs running concurrently
+	// (default 2).
+	MaxJobs int
+	// Queue is the admission queue capacity beyond the running jobs;
+	// submissions beyond it are rejected with a backpressure error
+	// (default 16).
+	Queue int
+	// CPU is the total worker-thread budget split evenly across shards
+	// (default runtime.NumCPU()). Each job's Threads is clamped to its
+	// shard's share, so MaxJobs concurrent jobs never oversubscribe.
+	CPU int
+	// StateDir, when non-empty, enables drain persistence: Drain
+	// checkpoints in-flight jobs there (<id>.sdck + <id>.json manifest)
+	// and a new scheduler over the same directory resumes them.
+	StateDir string
+	// CheckEvery is the guard invariant/snapshot interval and the
+	// cancellation-visible chunk size in steps (default 50). The job
+	// status Step counter advances at this granularity; cancellation
+	// itself stops the integrator within one MD step.
+	CheckEvery int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxJobs <= 0 {
+		o.MaxJobs = 2
+	}
+	if o.Queue <= 0 {
+		o.Queue = 16
+	}
+	if o.CPU <= 0 {
+		o.CPU = runtime.NumCPU()
+	}
+	if o.CheckEvery <= 0 {
+		o.CheckEvery = 50
+	}
+	return o
+}
+
+// Counters are the scheduler's lifetime totals, exposed on /metrics.
+// Plain ints guarded by the scheduler mutex: this is control plane, and
+// the atomics discipline reserves sync/atomic for the CS reducer and
+// telemetry.
+type Counters struct {
+	Submitted int `json:"submitted"`
+	Completed int `json:"completed"`
+	Failed    int `json:"failed"`
+	Canceled  int `json:"canceled"`
+	Rejected  int `json:"rejected"`
+	CacheHits int `json:"cache_hits"`
+	Coalesced int `json:"coalesced"`
+	Resumed   int `json:"resumed"`
+}
+
+// Scheduler multiplexes simulation jobs over a fixed set of shard
+// workers. Admission is a bounded queue (backpressure, not unbounded
+// buffering); identical specs are deduplicated in flight (singleflight)
+// and served from a content-addressed result cache once completed.
+type Scheduler struct {
+	opts  Options
+	start time.Time
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	byHash   map[string]*Job   // live (queued/running) job per content hash
+	cache    map[string]Result // completed results per content hash
+	queue    chan *Job
+	counters Counters
+	draining bool
+	nextID   int
+
+	wg sync.WaitGroup
+}
+
+// SubmitCode classifies a Submit outcome for the HTTP layer.
+type SubmitCode int
+
+const (
+	// SubmitCreated: a new job was admitted and queued.
+	SubmitCreated SubmitCode = iota
+	// SubmitCoalesced: an identical job is already queued or running;
+	// its status is returned instead (singleflight).
+	SubmitCoalesced
+	// SubmitCacheHit: an identical job already completed; a done job
+	// backed by the cached result is returned without re-running.
+	SubmitCacheHit
+	// SubmitInvalid: the spec failed validation.
+	SubmitInvalid
+	// SubmitQueueFull: the admission queue is full — back off and
+	// retry.
+	SubmitQueueFull
+	// SubmitDraining: the server is shutting down.
+	SubmitDraining
+)
+
+// NewScheduler starts the shard workers and, when StateDir holds drain
+// manifests from a previous process, re-admits those jobs to resume
+// from their checkpoints.
+func NewScheduler(opts Options) (*Scheduler, error) {
+	opts = opts.withDefaults()
+	s := &Scheduler{
+		opts:   opts,
+		start:  time.Now(),
+		jobs:   make(map[string]*Job),
+		byHash: make(map[string]*Job),
+		cache:  make(map[string]Result),
+	}
+	var resumed []*Job
+	if opts.StateDir != "" {
+		if err := os.MkdirAll(opts.StateDir, 0o755); err != nil {
+			return nil, fmt.Errorf("serve: state dir: %w", err)
+		}
+		var err error
+		if resumed, err = s.scanManifests(); err != nil {
+			return nil, err
+		}
+	}
+	// Queue capacity covers the configured backlog plus every resumed
+	// job, so restart re-admission can never be rejected.
+	s.queue = make(chan *Job, opts.Queue+len(resumed))
+	for _, j := range resumed {
+		s.jobs[j.id] = j
+		s.byHash[j.hash] = j
+		s.counters.Resumed++
+		s.queue <- j
+	}
+	for i := 0; i < opts.MaxJobs; i++ {
+		s.wg.Add(1)
+		// Shard workers are scheduler control plane: each runs whole
+		// jobs sequentially; the force-loop parallelism inside a job
+		// still routes through strategy.Pool.
+		go s.worker()
+	}
+	return s, nil
+}
+
+// scanManifests loads drain manifests left by a previous process,
+// in ID order so resumption is deterministic.
+func (s *Scheduler) scanManifests() ([]*Job, error) {
+	entries, err := os.ReadDir(s.opts.StateDir)
+	if err != nil {
+		return nil, fmt.Errorf("serve: scan state dir: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	var out []*Job
+	for _, name := range names {
+		path := filepath.Join(s.opts.StateDir, name)
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("serve: read manifest %s: %w", name, err)
+		}
+		var m manifest
+		if err := json.Unmarshal(b, &m); err != nil {
+			return nil, fmt.Errorf("serve: decode manifest %s: %w", name, err)
+		}
+		j := &Job{
+			id:      m.ID,
+			hash:    m.Hash,
+			spec:    m.Spec,
+			state:   StateQueued,
+			step:    m.Step,
+			created: time.Now(),
+		}
+		if m.Checkpoint != "" {
+			j.resumeFrom = m.Checkpoint
+		}
+		var n int
+		if _, err := fmt.Sscanf(m.ID, "j%06d", &n); err == nil && n >= s.nextID {
+			s.nextID = n + 1
+		}
+		out = append(out, j)
+	}
+	return out, nil
+}
+
+// manifest is the on-disk record of a job interrupted by a drain.
+type manifest struct {
+	ID   string  `json:"id"`
+	Hash string  `json:"hash"`
+	Spec JobSpec `json:"spec"`
+	// Step is the absolute step the checkpoint holds (0 when the job
+	// never started).
+	Step int `json:"step"`
+	// Checkpoint is the path of the binary state file; empty means the
+	// job restarts from its spec's initial lattice.
+	Checkpoint string `json:"checkpoint,omitempty"`
+}
+
+func (s *Scheduler) manifestPath(id string) string {
+	return filepath.Join(s.opts.StateDir, id+".json")
+}
+
+func (s *Scheduler) checkpointPath(id string) string {
+	return filepath.Join(s.opts.StateDir, id+".sdck")
+}
+
+// writeManifest persists a job's resume record atomically (temp file +
+// rename, the same discipline as the guard checkpoints).
+func (s *Scheduler) writeManifest(m manifest) error {
+	b, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("serve: encode manifest: %w", err)
+	}
+	f, err := os.CreateTemp(s.opts.StateDir, m.ID+".json.tmp*")
+	if err != nil {
+		return fmt.Errorf("serve: manifest temp: %w", err)
+	}
+	tmp := f.Name()
+	if _, err = f.Write(b); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, s.manifestPath(m.ID))
+	}
+	if err != nil {
+		// Best-effort cleanup of the temp file; the write error is the
+		// failure that matters.
+		_ = os.Remove(tmp)
+		return fmt.Errorf("serve: write manifest %s: %w", m.ID, err)
+	}
+	return nil
+}
+
+// removeStateFiles drops a terminal job's manifest and checkpoint.
+// Best-effort: a missing file is the normal case.
+func (s *Scheduler) removeStateFiles(id string) {
+	if s.opts.StateDir == "" {
+		return
+	}
+	for _, p := range []string{s.manifestPath(id), s.checkpointPath(id)} {
+		if err := os.Remove(p); err != nil && !errors.Is(err, fs.ErrNotExist) {
+			// Leftover files are re-scanned (manifest) or orphaned
+			// (checkpoint) but never corrupt results; nothing to do.
+			continue
+		}
+	}
+}
+
+// Submit validates, normalizes and admits one job. The returned code
+// tells the transport layer which HTTP status to map it to.
+func (s *Scheduler) Submit(spec JobSpec) (Status, SubmitCode, error) {
+	norm, err := spec.normalized(s.opts.CPU, s.opts.MaxJobs)
+	if err != nil {
+		return Status{}, SubmitInvalid, err
+	}
+	h, err := norm.hash()
+	if err != nil {
+		return Status{}, SubmitInvalid, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return Status{}, SubmitDraining, errors.New("serve: draining, not accepting jobs")
+	}
+	if res, ok := s.cache[h]; ok {
+		// Content-addressed cache hit: materialize a done job backed by
+		// the stored result; no simulation runs.
+		j := s.newJobLocked(norm, h)
+		res.Cached = true
+		res.WallSeconds = 0
+		j.result = &res
+		j.state = StateDone
+		j.step = norm.Steps
+		s.counters.CacheHits++
+		return j.statusLocked(), SubmitCacheHit, nil
+	}
+	if live, ok := s.byHash[h]; ok {
+		// Singleflight: an identical job is already in flight; share it.
+		s.counters.Coalesced++
+		return live.statusLocked(), SubmitCoalesced, nil
+	}
+	j := s.newJobLocked(norm, h)
+	select {
+	case s.queue <- j:
+	default:
+		delete(s.jobs, j.id)
+		s.counters.Rejected++
+		return Status{}, SubmitQueueFull, fmt.Errorf("serve: admission queue full (%d queued)", cap(s.queue))
+	}
+	j.state = StateQueued
+	s.byHash[h] = j
+	s.counters.Submitted++
+	return j.statusLocked(), SubmitCreated, nil
+}
+
+// newJobLocked allocates and registers a job; the mutex must be held.
+func (s *Scheduler) newJobLocked(spec JobSpec, hash string) *Job {
+	id := fmt.Sprintf("j%06d", s.nextID)
+	s.nextID++
+	j := &Job{id: id, hash: hash, spec: spec, created: time.Now()}
+	s.jobs[id] = j
+	return j
+}
+
+// Get returns a job's status.
+func (s *Scheduler) Get(id string) (Status, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Status{}, false
+	}
+	return j.statusLocked(), true
+}
+
+// Result returns a job's result when it is done.
+func (s *Scheduler) Result(id string) (Result, Status, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Result{}, Status{}, false
+	}
+	if j.state == StateDone && j.result != nil {
+		return *j.result, j.statusLocked(), true
+	}
+	return Result{}, j.statusLocked(), true
+}
+
+// Cancel stops a job: a queued job is withdrawn before it starts, a
+// running one has its context canceled so the integrator stops within
+// one MD step. Terminal jobs are left untouched (idempotent).
+func (s *Scheduler) Cancel(id string) (Status, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Status{}, false
+	}
+	switch j.state {
+	case StateQueued:
+		j.skip = true
+		j.state = StateCanceled
+		j.errMsg = "canceled while queued"
+		delete(s.byHash, j.hash)
+		s.counters.Canceled++
+		s.removeStateFiles(j.id)
+	case StateRunning:
+		if j.cancel != nil {
+			j.cancel(errClientCancel)
+		}
+	}
+	return j.statusLocked(), true
+}
+
+// worker is one shard: it drains the admission queue, running one job
+// at a time until the queue is closed by Drain.
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// runJob executes one job end to end and records its terminal state.
+func (s *Scheduler) runJob(j *Job) {
+	s.mu.Lock()
+	if j.skip {
+		// Withdrawn while queued (client cancel or drain persistence);
+		// its state is already terminal.
+		s.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithCancelCause(context.Background())
+	j.cancel = cancel
+	j.state = StateRunning
+	j.rec = telemetry.NewRecorder()
+	spec, resume, rec := j.spec, j.resumeFrom, j.rec
+	s.mu.Unlock()
+	defer cancel(nil)
+
+	started := time.Now()
+	res, runErr := s.execute(ctx, j, spec, resume, rec)
+	cause := context.Cause(ctx)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if live, ok := s.byHash[j.hash]; ok && live == j {
+		delete(s.byHash, j.hash)
+	}
+	switch {
+	case runErr == nil:
+		res.WallSeconds = time.Since(started).Seconds()
+		j.state = StateDone
+		j.result = res
+		j.step = res.Steps
+		s.cache[j.hash] = *res
+		s.counters.Completed++
+		s.removeStateFiles(j.id)
+	case errors.Is(runErr, md.ErrCanceled) && errors.Is(cause, errDrain):
+		// execute already checkpointed the state and wrote the resume
+		// manifest; the restarted server picks the job up from there.
+		j.state = StateInterrupted
+		j.errMsg = "interrupted by server drain; resumes on restart"
+	case errors.Is(runErr, md.ErrCanceled):
+		j.state = StateCanceled
+		j.errMsg = "canceled by client"
+		s.counters.Canceled++
+		s.removeStateFiles(j.id)
+	default:
+		j.state = StateFailed
+		j.errMsg = runErr.Error()
+		s.counters.Failed++
+		s.removeStateFiles(j.id)
+	}
+}
+
+// execute runs the simulation under the guard supervisor, advancing the
+// job's visible step counter every CheckEvery steps. On a drain
+// cancellation it checkpoints the consistent post-cancel state and
+// persists the resume manifest before returning.
+func (s *Scheduler) execute(ctx context.Context, j *Job, spec JobSpec, resume string, rec *telemetry.Recorder) (*Result, error) {
+	cfg, err := spec.mdConfig(rec)
+	if err != nil {
+		return nil, err
+	}
+	pol := guard.Policy{CheckEvery: s.opts.CheckEvery}
+	if s.opts.StateDir != "" {
+		pol.CheckpointPath = s.checkpointPath(j.id)
+	}
+	var sup *guard.Supervisor
+	if resume != "" {
+		sup, err = guard.Resume(resume, cfg, pol)
+	} else {
+		var sys *md.System
+		if sys, err = spec.buildSystem(); err != nil {
+			return nil, err
+		}
+		sup, err = guard.New(sys, cfg, pol)
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer sup.Close()
+
+	for sup.StepCount() < spec.Steps {
+		chunk := spec.Steps - sup.StepCount()
+		if chunk > s.opts.CheckEvery {
+			chunk = s.opts.CheckEvery
+		}
+		rerr := sup.RunCtx(ctx, chunk)
+		s.setStep(j, sup.StepCount())
+		if rerr != nil {
+			if errors.Is(rerr, md.ErrCanceled) &&
+				errors.Is(context.Cause(ctx), errDrain) && pol.CheckpointPath != "" {
+				if cerr := sup.Checkpoint(); cerr != nil {
+					return nil, fmt.Errorf("serve: drain checkpoint: %w", cerr)
+				}
+				m := manifest{ID: j.id, Hash: j.hash, Spec: spec,
+					Step: sup.StepCount(), Checkpoint: pol.CheckpointPath}
+				if merr := s.writeManifest(m); merr != nil {
+					return nil, merr
+				}
+			}
+			return nil, rerr
+		}
+	}
+	sys := sup.System()
+	return &Result{
+		Steps:           sup.StepCount(),
+		PotentialEnergy: sup.PotentialEnergy(),
+		KineticEnergy:   sys.KineticEnergy(),
+		TotalEnergy:     sup.TotalEnergy(),
+		Temperature:     sys.Temperature(),
+	}, nil
+}
+
+func (s *Scheduler) setStep(j *Job, step int) {
+	s.mu.Lock()
+	j.step = step
+	s.mu.Unlock()
+}
+
+// Drain stops admission, withdraws queued jobs into resume manifests,
+// cancels running jobs with the drain cause (each checkpoints its
+// consistent state and writes its manifest), and waits for the shards
+// to finish. Safe to call more than once; later calls just wait.
+func (s *Scheduler) Drain() error {
+	s.mu.Lock()
+	var firstErr error
+	if !s.draining {
+		s.draining = true
+		for _, j := range s.jobs {
+			switch j.state {
+			case StateQueued:
+				j.skip = true
+				j.state = StateInterrupted
+				j.errMsg = "interrupted by server drain; resumes on restart"
+				delete(s.byHash, j.hash)
+				if s.opts.StateDir != "" {
+					m := manifest{ID: j.id, Hash: j.hash, Spec: j.spec,
+						Step: j.step, Checkpoint: j.resumeFrom}
+					if err := s.writeManifest(m); err != nil && firstErr == nil {
+						firstErr = err
+					}
+				}
+			case StateRunning:
+				if j.cancel != nil {
+					j.cancel(errDrain)
+				}
+			}
+		}
+		// Submit sends while holding the mutex and refuses once
+		// draining is set, so closing here cannot race a send.
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return firstErr
+}
+
+// Counters returns the lifetime totals.
+func (s *Scheduler) Counters() Counters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counters
+}
+
+// QueueDepth returns how many admitted jobs are waiting for a shard.
+func (s *Scheduler) QueueDepth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue)
+}
+
+// Running returns how many jobs are currently executing.
+func (s *Scheduler) Running() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, j := range s.jobs {
+		if j.state == StateRunning {
+			n++
+		}
+	}
+	return n
+}
+
+// Metrics aggregates the per-job telemetry recorders into one snapshot:
+// phase timers, color sweeps, worker busy/wait and structural counters
+// summed across every job this process has run.
+func (s *Scheduler) Metrics() telemetry.Metrics {
+	s.mu.Lock()
+	recs := make([]*telemetry.Recorder, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		if j.rec != nil {
+			recs = append(recs, j.rec)
+		}
+	}
+	s.mu.Unlock()
+	agg := telemetry.Metrics{UptimeSeconds: time.Since(s.start).Seconds()}
+	for _, r := range recs {
+		agg = mergeMetrics(agg, r.Snapshot())
+	}
+	return agg
+}
+
+// mergeMetrics sums b into a (phases, colors, workers and counters);
+// the uptime keeps a's value — the service's own clock.
+func mergeMetrics(a, b telemetry.Metrics) telemetry.Metrics {
+	a.Density.Seconds += b.Density.Seconds
+	a.Density.Calls += b.Density.Calls
+	a.Embed.Seconds += b.Embed.Seconds
+	a.Embed.Calls += b.Embed.Calls
+	a.Force.Seconds += b.Force.Seconds
+	a.Force.Calls += b.Force.Calls
+	a.Colors = mergeColors(a.Colors, b.Colors)
+	a.Workers = mergeWorkers(a.Workers, b.Workers)
+	a.Rebuilds += b.Rebuilds
+	a.Faults += b.Faults
+	a.Rollbacks += b.Rollbacks
+	a.Checkpoints += b.Checkpoints
+	return a
+}
+
+func mergeColors(a, b []telemetry.ColorStat) []telemetry.ColorStat {
+	byColor := make(map[int]telemetry.ColorStat, len(a)+len(b))
+	for _, c := range append(append([]telemetry.ColorStat(nil), a...), b...) {
+		acc := byColor[c.Color]
+		acc.Color = c.Color
+		acc.Seconds += c.Seconds
+		acc.Sweeps += c.Sweeps
+		byColor[c.Color] = acc
+	}
+	out := make([]telemetry.ColorStat, 0, len(byColor))
+	for _, c := range byColor {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].Color < out[k].Color })
+	return out
+}
+
+func mergeWorkers(a, b []telemetry.WorkerStat) []telemetry.WorkerStat {
+	byWorker := make(map[int]telemetry.WorkerStat, len(a)+len(b))
+	for _, w := range append(append([]telemetry.WorkerStat(nil), a...), b...) {
+		acc := byWorker[w.Worker]
+		acc.Worker = w.Worker
+		acc.BusySeconds += w.BusySeconds
+		acc.WaitSeconds += w.WaitSeconds
+		byWorker[w.Worker] = acc
+	}
+	out := make([]telemetry.WorkerStat, 0, len(byWorker))
+	for _, w := range byWorker {
+		if tot := w.BusySeconds + w.WaitSeconds; tot > 0 {
+			w.Utilization = w.BusySeconds / tot
+		}
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].Worker < out[k].Worker })
+	return out
+}

@@ -1,0 +1,228 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Server is the HTTP front end over a Scheduler.
+//
+//	POST   /jobs             submit a JobSpec; 201 created, 200 on
+//	                         cache hit / singleflight coalesce, 429 +
+//	                         Retry-After on backpressure, 503 draining
+//	GET    /jobs/{id}        job status
+//	GET    /jobs/{id}/result result of a done job (409 until then)
+//	DELETE /jobs/{id}        cancel; stops a running job within one step
+//	GET    /metrics          aggregated telemetry (Prometheus text, or
+//	                         JSON with ?format=json) + service counters
+//	GET    /healthz          liveness + drain state
+type Server struct {
+	sched *Scheduler
+	srv   *http.Server
+	addr  string
+
+	mu   sync.Mutex
+	serr error // first non-shutdown Serve error
+	done chan struct{}
+}
+
+// retryAfterSeconds is the backpressure hint on 429 responses.
+const retryAfterSeconds = 1
+
+// NewMux builds the service routing for sched.
+func NewMux(sched *Scheduler) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		handleSubmit(sched, w, r)
+	})
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, ok := sched.Get(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, "no such job")
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("GET /jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		handleResult(sched, w, r)
+	})
+	mux.HandleFunc("DELETE /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, ok := sched.Cancel(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, "no such job")
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		handleMetrics(sched, w, r)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":  "ok",
+			"running": sched.Running(),
+			"queued":  sched.QueueDepth(),
+		})
+	})
+	return mux
+}
+
+func handleSubmit(sched *Scheduler, w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad job spec: %v", err))
+		return
+	}
+	st, code, err := sched.Submit(spec)
+	switch code {
+	case SubmitCreated:
+		writeJSON(w, http.StatusCreated, st)
+	case SubmitCoalesced, SubmitCacheHit:
+		writeJSON(w, http.StatusOK, st)
+	case SubmitInvalid:
+		writeError(w, http.StatusBadRequest, err.Error())
+	case SubmitQueueFull:
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", retryAfterSeconds))
+		writeError(w, http.StatusTooManyRequests, err.Error())
+	case SubmitDraining:
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+	default:
+		writeError(w, http.StatusInternalServerError, "unknown submit outcome")
+	}
+}
+
+func handleResult(sched *Scheduler, w http.ResponseWriter, r *http.Request) {
+	res, st, ok := sched.Result(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	switch st.State {
+	case StateDone:
+		writeJSON(w, http.StatusOK, res)
+	case StateFailed:
+		writeError(w, http.StatusInternalServerError, st.Error)
+	default:
+		// Not done yet (queued/running/canceled/interrupted): report the
+		// state so pollers can decide whether to keep waiting.
+		writeJSON(w, http.StatusConflict, st)
+	}
+}
+
+// handleMetrics renders the aggregated per-job telemetry followed by
+// the service's own counters, in the same exposition formats as the
+// telemetry package (Prometheus text, JSON with ?format=json).
+func handleMetrics(sched *Scheduler, w http.ResponseWriter, r *http.Request) {
+	m := sched.Metrics()
+	c := sched.Counters()
+	wantJSON := r.URL.Query().Get("format") == "json" ||
+		strings.Contains(r.Header.Get("Accept"), "application/json")
+	if wantJSON {
+		writeJSON(w, http.StatusOK, struct {
+			Jobs    Counters `json:"jobs"`
+			Queued  int      `json:"queued"`
+			Running int      `json:"running"`
+			Sim     any      `json:"sim"`
+		}{Jobs: c, Queued: sched.QueueDepth(), Running: sched.Running(), Sim: m})
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := m.WritePrometheus(w); err != nil {
+		return // client went away mid-scrape; nothing to salvage
+	}
+	for _, row := range []struct {
+		name, kind, help string
+		value            int
+	}{
+		{"sdcserve_jobs_submitted_total", "counter", "Jobs admitted to the queue.", c.Submitted},
+		{"sdcserve_jobs_completed_total", "counter", "Jobs finished successfully.", c.Completed},
+		{"sdcserve_jobs_failed_total", "counter", "Jobs that returned an error.", c.Failed},
+		{"sdcserve_jobs_canceled_total", "counter", "Jobs canceled by clients.", c.Canceled},
+		{"sdcserve_jobs_rejected_total", "counter", "Submissions rejected by queue backpressure.", c.Rejected},
+		{"sdcserve_cache_hits_total", "counter", "Submissions served from the content-addressed result cache.", c.CacheHits},
+		{"sdcserve_jobs_coalesced_total", "counter", "Submissions coalesced onto an identical in-flight job.", c.Coalesced},
+		{"sdcserve_jobs_resumed_total", "counter", "Jobs re-admitted from drain manifests at startup.", c.Resumed},
+		{"sdcserve_queue_depth", "gauge", "Admitted jobs waiting for a shard.", sched.QueueDepth()},
+		{"sdcserve_jobs_running", "gauge", "Jobs currently executing.", sched.Running()},
+	} {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n",
+			row.name, row.help, row.name, row.kind, row.name, row.value); err != nil {
+			return
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are already out; the client sees a truncated body and
+		// retries. Nothing useful to do server-side.
+		return
+	}
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+// Start listens on addr (host:port; port 0 picks a free port) and
+// serves the job API until Close. The accept loop runs on its own
+// goroutine — HTTP control plane, outside the pool by design.
+func Start(addr string, sched *Scheduler) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("serve: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		sched: sched,
+		srv:   &http.Server{Handler: NewMux(sched)},
+		addr:  ln.Addr().String(),
+		done:  make(chan struct{}),
+	}
+	go func() {
+		defer close(s.done)
+		if err := s.srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			s.mu.Lock()
+			s.serr = err
+			s.mu.Unlock()
+		}
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with port 0).
+func (s *Server) Addr() string { return s.addr }
+
+// closeGrace bounds how long Close waits for in-flight requests.
+const closeGrace = 2 * time.Second
+
+// Close stops the HTTP listener gracefully (in-flight requests get up
+// to closeGrace, then the remaining connections are hard-closed) and
+// reports the first serve failure, if any. It does NOT drain the
+// scheduler — call Scheduler.Drain separately so the caller controls
+// the order (stop admission first, then persist in-flight jobs).
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), closeGrace)
+	defer cancel()
+	err := s.srv.Shutdown(ctx)
+	if err != nil {
+		err = s.srv.Close()
+	}
+	<-s.done
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.serr != nil {
+		return s.serr
+	}
+	return err
+}

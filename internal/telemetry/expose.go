@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -160,9 +161,23 @@ func Serve(addr string, snapshot func() Metrics) (*Server, error) {
 // Addr returns the bound listen address (useful with port 0).
 func (s *Server) Addr() string { return s.addr }
 
-// Close stops the listener and reports the first serve failure, if any.
+// closeGrace bounds how long Close waits for in-flight scrapes: long
+// enough for a slow Prometheus scrape to finish rendering, short enough
+// that a wedged client cannot hold a finished run hostage.
+const closeGrace = 2 * time.Second
+
+// Close stops the listener gracefully — in-flight /metrics scrapes get
+// up to closeGrace to complete before the remaining connections are
+// hard-closed — and reports the first serve failure, if any. A
+// hard-close after the grace period is not itself an error: the run's
+// data is intact, only a stuck client's response was cut short.
 func (s *Server) Close() error {
-	err := s.srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), closeGrace)
+	defer cancel()
+	err := s.srv.Shutdown(ctx)
+	if err != nil {
+		err = s.srv.Close()
+	}
 	<-s.done
 	s.mu.Lock()
 	defer s.mu.Unlock()

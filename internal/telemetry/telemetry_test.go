@@ -214,6 +214,69 @@ func TestServeMetricsAndPprof(t *testing.T) {
 	}
 }
 
+// TestCloseWaitsForSlowScrape is the regression test for the graceful
+// shutdown path: Close used to hard-close the listener, cutting
+// in-flight /metrics responses mid-body. A scrape that is already
+// inside the handler when Close begins must now complete with a full
+// 200 response.
+func TestCloseWaitsForSlowScrape(t *testing.T) {
+	r := NewRecorder()
+	r.AddPhase(PhaseForce, time.Second)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	slowSnapshot := func() Metrics {
+		once.Do(func() {
+			close(entered)
+			<-release
+		})
+		return r.Snapshot()
+	}
+	srv, err := Serve("127.0.0.1:0", slowSnapshot)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type scrape struct {
+		body string
+		code int
+		err  error
+	}
+	got := make(chan scrape, 1)
+	go func() {
+		resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+		if err != nil {
+			got <- scrape{err: err}
+			return
+		}
+		defer func() { _ = resp.Body.Close() }()
+		body, err := io.ReadAll(resp.Body)
+		got <- scrape{body: string(body), code: resp.StatusCode, err: err}
+	}()
+
+	<-entered // the scrape is inside the handler now
+	closed := make(chan error, 1)
+	go func() { closed <- srv.Close() }()
+	// Give Shutdown a moment to begin, then let the handler finish; the
+	// response must still make it out whole.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+
+	res := <-got
+	if res.err != nil {
+		t.Fatalf("slow scrape failed during shutdown: %v", res.err)
+	}
+	if res.code != http.StatusOK {
+		t.Fatalf("slow scrape got status %d", res.code)
+	}
+	if !strings.Contains(res.body, `sdcmd_phase_seconds_total{phase="force"} 1`) {
+		t.Errorf("scrape body truncated:\n%s", res.body)
+	}
+	if err := <-closed; err != nil {
+		t.Errorf("graceful close: %v", err)
+	}
+}
+
 func TestStreamer(t *testing.T) {
 	r := NewRecorder()
 	r.AddPhase(PhaseEmbed, time.Second)

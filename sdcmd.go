@@ -26,6 +26,7 @@
 package sdcmd
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -80,6 +81,13 @@ type SimOptions struct {
 
 // PaperTimestep is the paper's Δt = 10⁻¹⁷ s, in ps.
 const PaperTimestep = md.PaperTimestep
+
+// ErrCanceled is the errors.Is sentinel for a run stopped by context
+// cancellation (RunContext on Simulation or GuardedSimulation). It
+// wraps the context's error, so errors.Is against context.Canceled
+// works too; a canceled run always stops at a step boundary with the
+// state consistent and checkpointable.
+var ErrCanceled = md.ErrCanceled
 
 // Simulation is a live MD run over bcc iron.
 type Simulation struct {
@@ -216,6 +224,11 @@ func RestoreSimulation(r io.Reader, o SimOptions) (*Simulation, error) {
 
 // Run advances n timesteps.
 func (s *Simulation) Run(n int) error { return s.sim.Step(n) }
+
+// RunContext advances up to n timesteps, stopping at the next step
+// boundary once ctx is canceled; the returned error then wraps
+// ErrCanceled and the state stays consistent (last completed step).
+func (s *Simulation) RunContext(ctx context.Context, n int) error { return s.sim.StepCtx(ctx, n) }
 
 // N returns the atom count.
 func (s *Simulation) N() int { return s.sys.N() }

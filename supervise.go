@@ -1,6 +1,7 @@
 package sdcmd
 
 import (
+	"context"
 	"io"
 	"time"
 
@@ -121,6 +122,14 @@ func ResumeGuardedSimulation(path string, o GuardOptions) (*GuardedSimulation, e
 // absorbed (rollback + degradation); the error return means the retry
 // budget is spent or recovery itself failed.
 func (g *GuardedSimulation) Run(n int) error { return g.sup.Run(n) }
+
+// RunContext is Run with cancellation: a canceled ctx stops the run
+// within one MD step and returns an error wrapping ErrCanceled without
+// spending a retry or rolling back — the state is the last completed
+// step and Checkpoint may be called immediately after.
+func (g *GuardedSimulation) RunContext(ctx context.Context, n int) error {
+	return g.sup.RunCtx(ctx, n)
+}
 
 // N returns the atom count.
 func (g *GuardedSimulation) N() int { return g.sup.System().N() }
