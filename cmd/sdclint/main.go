@@ -6,6 +6,9 @@
 //	sdclint -sarif ./...     # one SARIF 2.1.0 document, for CI upload
 //	sdclint -rules           # list the rules and what they enforce
 //
+//	sdclint -write-baseline lint.base ./...   # record current findings
+//	sdclint -baseline lint.base ./...         # fail only on NEW findings
+//
 // Findings print as file:line:col: rule: message. A finding is
 // suppressed by a same-line or preceding-line comment of the form
 //
@@ -35,6 +38,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	asJSON := fs.Bool("json", false, "emit one JSON finding per line")
 	asSARIF := fs.Bool("sarif", false, "emit one SARIF 2.1.0 document")
 	listRules := fs.Bool("rules", false, "list the rules and exit")
+	baseline := fs.String("baseline", "", "suppress findings recorded in this baseline file; fail only on new ones")
+	writeBaseline := fs.String("write-baseline", "", "record current findings to this baseline file and exit 0")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -66,6 +71,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	findings := lint.Run(pkgs, rules)
+	if *writeBaseline != "" {
+		if err := lint.WriteBaselineFile(*writeBaseline, findings); err != nil {
+			_, _ = fmt.Fprintln(stderr, "sdclint:", err)
+			return 2
+		}
+		_, _ = fmt.Fprintf(stderr, "sdclint: wrote %d finding(s) to %s\n", len(findings), *writeBaseline)
+		return 0
+	}
+	if *baseline != "" {
+		b, err := lint.ReadBaselineFile(*baseline)
+		if err != nil {
+			_, _ = fmt.Fprintln(stderr, "sdclint:", err)
+			return 2
+		}
+		findings = b.Filter(findings)
+	}
 	if *asSARIF {
 		err = lint.WriteSARIF(stdout, "sdclint", lint.AsPasses(rules), findings)
 	} else {

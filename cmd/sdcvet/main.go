@@ -1,19 +1,32 @@
 // Command sdcvet runs the full static-analysis suite: the six sdclint
-// source-discipline rules plus the interprocedural sdcvet passes —
+// source-discipline rules, the interprocedural sdcvet passes —
 // sdc-shared-write (worker-body writes to shared reduction arrays must
 // be provably confined or flow through an approved strategy.Reducer)
 // and hot-loop (no allocation, defer or map iteration inside loops of
-// functions reachable from Compute or the force sweeps).
+// functions reachable from Compute or the force sweeps) — and the four
+// sdcflow concurrency-lifecycle passes: goroutine-leak (every go
+// statement needs provable join/stop evidence), lock-order (the mutex
+// acquisition graph must be acyclic with no re-acquisition),
+// ctx-propagation (blocking operations reachable from ctx-accepting
+// entry points must be cancellable), and nondet-order (map iteration
+// order must not flow into float accumulation, serialization, or
+// unsorted results).
 //
 //	sdcvet ./...             # analyze the whole tree, exit 1 on findings
 //	sdcvet -json ./...       # one JSON finding per line, for tooling
 //	sdcvet -sarif ./...      # one SARIF 2.1.0 document, for CI upload
 //	sdcvet -rules            # list every rule/pass and what it enforces
 //
+//	sdcvet -write-baseline vet.base ./...   # record current findings
+//	sdcvet -baseline vet.base ./...         # fail only on NEW findings
+//
 // Everything runs under one driver over one parse and type-check of
 // the tree. Findings print as file:line:col: rule: message and are
 // suppressed by the same //lint:ignore <rule>[,<rule>...] <reason>
-// directives sdclint honors. See DESIGN.md, "Correctness tooling".
+// directives sdclint honors. A baseline file (one JSON finding per
+// line, matched by file+rule+message) gates a run on "no new findings"
+// while a surfaced backlog is burned down. See DESIGN.md, "Correctness
+// tooling".
 package main
 
 import (
@@ -22,6 +35,7 @@ import (
 	"io"
 	"os"
 
+	"sdcmd/internal/flow"
 	"sdcmd/internal/lint"
 	"sdcmd/internal/vet"
 )
@@ -31,7 +45,8 @@ func main() {
 }
 
 func passes() []lint.Pass {
-	return append(lint.AsPasses(lint.DefaultRules()), vet.Passes()...)
+	all := append(lint.AsPasses(lint.DefaultRules()), vet.Passes()...)
+	return append(all, flow.Passes()...)
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
@@ -40,6 +55,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	asJSON := fs.Bool("json", false, "emit one JSON finding per line")
 	asSARIF := fs.Bool("sarif", false, "emit one SARIF 2.1.0 document")
 	listRules := fs.Bool("rules", false, "list the rules and passes, then exit")
+	baseline := fs.String("baseline", "", "suppress findings recorded in this baseline file; fail only on new ones")
+	writeBaseline := fs.String("write-baseline", "", "record current findings to this baseline file and exit 0")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -71,6 +88,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	findings := lint.RunPasses(pkgs, all)
+	if *writeBaseline != "" {
+		if err := lint.WriteBaselineFile(*writeBaseline, findings); err != nil {
+			_, _ = fmt.Fprintln(stderr, "sdcvet:", err)
+			return 2
+		}
+		_, _ = fmt.Fprintf(stderr, "sdcvet: wrote %d finding(s) to %s\n", len(findings), *writeBaseline)
+		return 0
+	}
+	if *baseline != "" {
+		b, err := lint.ReadBaselineFile(*baseline)
+		if err != nil {
+			_, _ = fmt.Fprintln(stderr, "sdcvet:", err)
+			return 2
+		}
+		findings = b.Filter(findings)
+	}
 	if *asSARIF {
 		err = lint.WriteSARIF(stdout, "sdcvet", all, findings)
 	} else {

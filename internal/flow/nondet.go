@@ -1,0 +1,254 @@
+package flow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"sdcmd/internal/lint"
+)
+
+// nondetPass flags map iterations whose order can change observable
+// results between runs: float (or string) accumulation, bytes written
+// to streams, encoders or hashes (checkpoint serialization and the
+// sha256 spec key), and slices built by append and never sorted
+// afterwards. Go randomizes map iteration order per run, so any of
+// these sinks breaks the bit-for-bit resume and content-addressed
+// cache invariants. Three shapes are recognized as safe and not
+// flagged: accumulation into a slot indexed by the iteration key
+// (per-key independence), integer accumulation (exact, order-free),
+// and appends followed by a sort.*/slices.* call on the same slice
+// later in the function.
+type nondetPass struct{}
+
+func (p *nondetPass) Name() string { return "nondet-order" }
+
+func (p *nondetPass) Doc() string {
+	return "map iteration order must not flow into float/string accumulation, serialization, or unsorted slice results"
+}
+
+func (p *nondetPass) Analyze(pkgs []*lint.Package) []lint.Finding {
+	var out []lint.Finding
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			if f.Test {
+				continue
+			}
+			for _, d := range f.AST.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				p.checkFunc(pkg, f, fd, &out)
+			}
+		}
+	}
+	return sortFindings(out)
+}
+
+type appendSink struct {
+	obj types.Object
+	rng *ast.RangeStmt
+	pos token.Pos
+}
+
+func (p *nondetPass) checkFunc(pkg *lint.Package, f *lint.SourceFile, fd *ast.FuncDecl, out *[]lint.Finding) {
+	info := pkg.Info
+
+	// Sort calls anywhere in the declaration, for append rescue.
+	type sortCall struct {
+		obj types.Object
+		pos token.Pos
+	}
+	var sorts []sortCall
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		c, ok := n.(*ast.CallExpr)
+		if !ok || len(c.Args) == 0 {
+			return true
+		}
+		sel, ok := ast.Unparen(c.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgID, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := info.Uses[pkgID].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		path := pn.Imported().Path()
+		if path != "sort" && path != "slices" {
+			return true
+		}
+		if id, ok := ast.Unparen(c.Args[0]).(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil {
+				sorts = append(sorts, sortCall{obj: obj, pos: c.Pos()})
+			}
+		}
+		return true
+	})
+
+	var appends []appendSink
+	var scanRange func(rng *ast.RangeStmt)
+	scanRange = func(rng *ast.RangeStmt) {
+		keyObj := rangeKeyObj(info, rng)
+		ast.Inspect(rng.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.RangeStmt:
+				if isMap(typeOf(info, n.X)) {
+					scanRange(n) // nested map range judged on its own
+					return false
+				}
+				return true
+			case *ast.AssignStmt:
+				p.checkAssign(pkg, f, info, n, rng, keyObj, &appends, out)
+				return true
+			case *ast.CallExpr:
+				if isSerialization(info, n) {
+					*out = append(*out, findingAt(pkg, f, n.Pos(),
+						p.Name(), "map iteration order flows into serialized output — iterate sorted keys so artifacts and digests are reproducible"))
+				}
+				return true
+			}
+			return true
+		})
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if rng, ok := n.(*ast.RangeStmt); ok && isMap(typeOf(info, rng.X)) {
+			scanRange(rng)
+			return false
+		}
+		return true
+	})
+
+	for _, a := range appends {
+		rescued := false
+		for _, s := range sorts {
+			if s.obj == a.obj && s.pos > a.rng.End() {
+				rescued = true
+				break
+			}
+		}
+		if !rescued {
+			*out = append(*out, findingAt(pkg, f, a.pos, p.Name(),
+				"map iteration order determines the element order of an appended slice with no later sort — sort the slice or iterate sorted keys"))
+		}
+	}
+}
+
+// checkAssign flags order-dependent accumulation and records append
+// sinks for the rescue check.
+func (p *nondetPass) checkAssign(pkg *lint.Package, f *lint.SourceFile, info *types.Info,
+	n *ast.AssignStmt, rng *ast.RangeStmt, keyObj types.Object,
+	appends *[]appendSink, out *[]lint.Finding) {
+
+	switch n.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		if len(n.Lhs) != 1 {
+			return
+		}
+		t := typeOf(info, n.Lhs[0])
+		if !isFloatOrString(t) {
+			return // integer accumulation is exact and order-free
+		}
+		// out[k] += v indexed by the iteration key is per-key
+		// independent.
+		if ix, ok := ast.Unparen(n.Lhs[0]).(*ast.IndexExpr); ok && keyObj != nil {
+			if id, ok := ast.Unparen(ix.Index).(*ast.Ident); ok && info.Uses[id] == keyObj {
+				return
+			}
+		}
+		*out = append(*out, findingAt(pkg, f, n.Pos(), p.Name(),
+			"map iteration order flows into a float/string accumulation — iterate sorted keys for bit-for-bit reproducible results"))
+	case token.ASSIGN:
+		if len(n.Lhs) != 1 || len(n.Rhs) != 1 {
+			return
+		}
+		c, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		id, ok := ast.Unparen(c.Fun).(*ast.Ident)
+		if !ok || id.Name != "append" {
+			return
+		}
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+			return
+		}
+		lhs, ok := ast.Unparen(n.Lhs[0]).(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := info.Uses[lhs]
+		if obj == nil {
+			obj = info.Defs[lhs]
+		}
+		// Only slices declared outside the range escape with
+		// order-dependent contents.
+		if obj == nil || (obj.Pos() >= rng.Pos() && obj.Pos() <= rng.End()) {
+			return
+		}
+		*appends = append(*appends, appendSink{obj: obj, rng: rng, pos: n.Pos()})
+	}
+}
+
+// isSerialization reports calls that commit bytes in iteration order:
+// fmt print/fprint families and Write/Encode-shaped methods (streams,
+// encoders, hashes).
+func isSerialization(info *types.Info, c *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(c.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if fn, ok := info.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		return strings.HasPrefix(fn.Name(), "Fprint") || strings.HasPrefix(fn.Name(), "Print")
+	}
+	switch sel.Sel.Name {
+	case "Write", "WriteString", "WriteByte", "WriteRune", "Encode":
+		// Must be a method (receiver expression has a type), not a
+		// package function.
+		if _, ok := info.Uses[sel.Sel].(*types.Func); ok {
+			return typeOf(info, sel.X) != nil
+		}
+	}
+	return false
+}
+
+func rangeKeyObj(info *types.Info, rng *ast.RangeStmt) types.Object {
+	id, ok := rng.Key.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if o := info.Defs[id]; o != nil {
+		return o
+	}
+	return info.Uses[id]
+}
+
+func isMap(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+func isFloatOrString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsString) != 0
+}
+
+// findingAt builds a finding without the whole-program index (the
+// nondet pass is purely syntactic per file).
+func findingAt(pkg *lint.Package, f *lint.SourceFile, pos token.Pos, rule, msg string) lint.Finding {
+	p := pkg.Fset.Position(pos)
+	return lint.Finding{File: f.Rel, Line: p.Line, Col: p.Column, Rule: rule, Message: msg}
+}

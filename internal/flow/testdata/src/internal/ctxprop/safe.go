@@ -1,0 +1,51 @@
+// Cancellable blocking idioms; none of these may be flagged.
+package ctxprop
+
+import (
+	"context"
+	"time"
+)
+
+// GoodSelect escapes via ctx.Done.
+func GoodSelect(ctx context.Context, ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+// Opportunistic escapes via default: never blocks.
+func Opportunistic(ctx context.Context, ch chan int) {
+	select {
+	case ch <- 1:
+	default:
+	}
+}
+
+// Bounded receives from a timer channel: bounded by construction.
+func Bounded(ctx context.Context) {
+	t := time.NewTimer(time.Millisecond)
+	defer t.Stop()
+	<-t.C
+}
+
+// TimedSelect escapes via a time-channel case.
+func TimedSelect(ctx context.Context, ch chan int) {
+	select {
+	case <-ch:
+	case <-time.After(time.Millisecond):
+	}
+}
+
+// AwaitCancel blocks on ctx.Done itself: cancellation-bounded by
+// definition.
+func AwaitCancel(ctx context.Context) {
+	<-ctx.Done()
+}
+
+// unreached blocks but no ctx entry can reach it: out of scope.
+func unreached(ch chan int) {
+	<-ch
+}

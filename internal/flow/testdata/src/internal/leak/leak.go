@@ -1,0 +1,31 @@
+// Package leak seeds goroutine launches with no provable join or stop:
+// every go statement in this file must be flagged by goroutine-leak.
+package leak
+
+// Spin launches an unbounded polling loop: no WaitGroup, no stop
+// channel, no completion signal.
+func Spin(poll func()) {
+	go func() {
+		for {
+			poll()
+		}
+	}()
+}
+
+// Produce launches a sender whose channel the launcher never receives
+// from: once the buffer fills the goroutine blocks forever.
+func Produce(ch chan int) {
+	go produce(ch)
+}
+
+func produce(ch chan int) {
+	for i := 0; ; i++ {
+		ch <- i
+	}
+}
+
+// Indirect launches a function value pulled from a container: the body
+// cannot be resolved statically, so the lifetime is unprovable.
+func Indirect(handlers []func()) {
+	go handlers[0]()
+}

@@ -1,0 +1,47 @@
+// Package locks seeds lock-order violations: an acquisition cycle, a
+// direct re-acquisition, and a re-acquisition through a call.
+package locks
+
+import "sync"
+
+// Pair holds two mutexes with no agreed order.
+type Pair struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+// AB acquires a then b.
+func (p *Pair) AB() {
+	p.a.Lock()
+	defer p.a.Unlock()
+	p.b.Lock()
+	defer p.b.Unlock()
+}
+
+// BA acquires b then a: the inverted order closes a cycle with AB.
+func (p *Pair) BA() {
+	p.b.Lock()
+	defer p.b.Unlock()
+	p.a.Lock()
+	defer p.a.Unlock()
+}
+
+// Twice re-acquires a while holding it: self-deadlock.
+func (p *Pair) Twice() {
+	p.a.Lock()
+	defer p.a.Unlock()
+	p.a.Lock()
+	p.a.Unlock()
+}
+
+// ViaCall re-acquires a through a helper while holding it.
+func (p *Pair) ViaCall() {
+	p.a.Lock()
+	defer p.a.Unlock()
+	p.helper()
+}
+
+func (p *Pair) helper() {
+	p.a.Lock()
+	defer p.a.Unlock()
+}

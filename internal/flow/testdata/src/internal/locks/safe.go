@@ -1,0 +1,47 @@
+// Disciplined locking; none of these may be flagged.
+package locks
+
+import "sync"
+
+// Ordered holds mutexes always taken first-then-second.
+type Ordered struct {
+	first  sync.Mutex
+	second sync.Mutex
+}
+
+// Both takes the agreed order with deferred releases.
+func (o *Ordered) Both() {
+	o.first.Lock()
+	defer o.first.Unlock()
+	o.second.Lock()
+	defer o.second.Unlock()
+}
+
+// BothAgain takes the same order with explicit releases: consistent
+// edges, no cycle.
+func (o *Ordered) BothAgain() {
+	o.first.Lock()
+	o.second.Lock()
+	o.second.Unlock()
+	o.first.Unlock()
+}
+
+// Sequential locks, releases, then re-locks: no overlap.
+func (o *Ordered) Sequential() {
+	o.first.Lock()
+	o.first.Unlock()
+	o.first.Lock()
+	o.first.Unlock()
+}
+
+// Branchy releases on both paths before re-acquiring after the merge.
+func (o *Ordered) Branchy(x bool) {
+	o.first.Lock()
+	if x {
+		o.first.Unlock()
+	} else {
+		o.first.Unlock()
+	}
+	o.first.Lock()
+	o.first.Unlock()
+}

@@ -1,0 +1,42 @@
+// Package nondet seeds map iterations whose order leaks into results;
+// each must be flagged by nondet-order.
+package nondet
+
+import (
+	"fmt"
+	"io"
+)
+
+// Sum accumulates floats in map order: bit-level nondeterministic.
+func Sum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Dump serializes entries in map order.
+func Dump(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// Keys collects keys with no later sort.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Concat builds a string in map order.
+func Concat(m map[string]string) string {
+	s := ""
+	for _, v := range m {
+		s += v
+	}
+	return s
+}

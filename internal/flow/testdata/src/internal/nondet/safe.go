@@ -1,0 +1,43 @@
+// Order-safe map iteration idioms; none of these may be flagged.
+package nondet
+
+import "sort"
+
+// SortedKeys collects then sorts: the rescue the pass recognizes.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// PerKey accumulates into the slot indexed by the iteration key:
+// per-key independent, order immaterial.
+func PerKey(m, out map[string]float64) {
+	for k, v := range m {
+		out[k] += v
+	}
+}
+
+// Count sums integers: exact arithmetic, order-free.
+func Count(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// Grouped iterates a slice of slices (the core.ByColor shape), which
+// has deterministic order: not a map, never flagged.
+func Grouped(byColor [][]int32) int {
+	total := 0
+	for _, grp := range byColor {
+		for _, x := range grp {
+			total += int(x)
+		}
+	}
+	return total
+}

@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Baseline is a recorded set of accepted findings. A baseline lets a
+// new pass land gated on "no new findings" while the backlog it
+// surfaced is burned down deliberately, instead of blanket-ignoring
+// the pass. Entries match on (file, rule, message) — line and column
+// are recorded for humans but ignored when matching, so unrelated
+// edits that shift a known finding do not break the gate. Matching is
+// counted: a baseline with two identical entries absorbs at most two
+// identical findings.
+type Baseline struct {
+	counts map[baselineKey]int
+}
+
+type baselineKey struct {
+	File    string
+	Rule    string
+	Message string
+}
+
+// WriteBaseline records findings one JSON object per line, the same
+// shape as -json output, so a baseline file is diffable and reviewable.
+func WriteBaseline(w io.Writer, findings []Finding) error {
+	return Write(w, findings, true)
+}
+
+// WriteBaselineFile writes findings to path.
+func WriteBaselineFile(path string, findings []Finding) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteBaseline(f, findings); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadBaseline parses a baseline written by WriteBaseline.
+func ReadBaseline(r io.Reader) (*Baseline, error) {
+	b := &Baseline{counts: map[baselineKey]int{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Bytes()
+		if len(text) == 0 {
+			continue
+		}
+		var f Finding
+		if err := json.Unmarshal(text, &f); err != nil {
+			return nil, fmt.Errorf("baseline line %d: %w", line, err)
+		}
+		b.counts[baselineKey{File: f.File, Rule: f.Rule, Message: f.Message}]++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// ReadBaselineFile reads a baseline from path.
+func ReadBaselineFile(path string) (*Baseline, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = f.Close() }() // read-only descriptor; nothing to flush
+	return ReadBaseline(f)
+}
+
+// Filter returns the findings not absorbed by the baseline, preserving
+// order. Each baseline entry absorbs at most its recorded count.
+func (b *Baseline) Filter(findings []Finding) []Finding {
+	if b == nil || len(b.counts) == 0 {
+		return findings
+	}
+	left := make(map[baselineKey]int, len(b.counts))
+	for k, v := range b.counts {
+		left[k] = v
+	}
+	var out []Finding
+	for _, f := range findings {
+		k := baselineKey{File: f.File, Rule: f.Rule, Message: f.Message}
+		if left[k] > 0 {
+			left[k]--
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}

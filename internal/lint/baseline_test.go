@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func baselineFindings() []Finding {
+	return []Finding{
+		{File: "a.go", Line: 3, Col: 1, Rule: "r1", Message: "first"},
+		{File: "a.go", Line: 9, Col: 2, Rule: "r1", Message: "first"},
+		{File: "b.go", Line: 5, Col: 4, Rule: "r2", Message: "second"},
+	}
+}
+
+// TestBaselineRoundTrip pins the write→read→filter contract: a
+// baseline written from a finding set absorbs exactly that set.
+func TestBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "base.jsonl")
+	if err := WriteBaselineFile(path, baselineFindings()); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadBaselineFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rest := b.Filter(baselineFindings()); len(rest) != 0 {
+		t.Errorf("baseline did not absorb its own findings: %v", rest)
+	}
+}
+
+// TestBaselineLineInsensitive asserts matching ignores line and column:
+// a known finding that drifted with unrelated edits stays absorbed.
+func TestBaselineLineInsensitive(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "base.jsonl")
+	if err := WriteBaselineFile(path, baselineFindings()); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadBaselineFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := baselineFindings()
+	for i := range moved {
+		moved[i].Line += 100
+		moved[i].Col++
+	}
+	if rest := b.Filter(moved); len(rest) != 0 {
+		t.Errorf("line-shifted findings were not absorbed: %v", rest)
+	}
+}
+
+// TestBaselineNewFindingSurvives asserts a finding not in the baseline
+// passes through, and counted matching does not over-absorb duplicates.
+func TestBaselineNewFindingSurvives(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "base.jsonl")
+	if err := WriteBaselineFile(path, baselineFindings()); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadBaselineFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := append(baselineFindings(),
+		Finding{File: "c.go", Line: 1, Col: 1, Rule: "r3", Message: "brand new"},
+		Finding{File: "a.go", Line: 20, Col: 1, Rule: "r1", Message: "first"}, // third copy, only two recorded
+	)
+	rest := b.Filter(cur)
+	if len(rest) != 2 {
+		t.Fatalf("want 2 surviving findings, got %d: %v", len(rest), rest)
+	}
+	if rest[0].Rule != "r3" || rest[1].Rule != "r1" {
+		t.Errorf("wrong survivors: %v", rest)
+	}
+}
+
+// TestBaselineRejectsGarbage asserts a corrupt baseline is an error,
+// not a silently empty gate.
+func TestBaselineRejectsGarbage(t *testing.T) {
+	b, err := ReadBaseline(strings.NewReader("{\"file\":\"a.go\"}\nnot json\n"))
+	if err == nil {
+		t.Fatalf("corrupt baseline accepted: %v", b)
+	}
+}

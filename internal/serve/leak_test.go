@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// settleToGoroutineCount polls until the live goroutine count drops
+// back to at most before, failing if it never settles. The generous
+// deadline covers race-instrumented runs.
+func settleToGoroutineCount(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines did not settle: %d live, want <= %d", runtime.NumGoroutine(), before)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestDrainLeaksNoGoroutines is the dynamic half of the goroutine-leak
+// cross-validation (see internal/flow): after Drain returns, the
+// scheduler's runner goroutines — including one interrupted mid-job —
+// must all be gone. The static pass proves the same joins in
+// TestRealRepoShutdownPathsProveClean.
+func TestDrainLeaksNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	sched, err := NewScheduler(Options{MaxJobs: 2, Queue: 4, CPU: 2, StateDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One short job that finishes, one long job Drain interrupts.
+	if _, code, err := sched.Submit(JobSpec{Cells: 3, Steps: 25, Seed: 1, Strategy: "serial"}); err != nil || code != SubmitCreated {
+		t.Fatalf("submit short: code %v err %v", code, err)
+	}
+	if _, code, err := sched.Submit(JobSpec{Cells: 3, Steps: 10_000_000, Seed: 2, Strategy: "serial"}); err != nil || code != SubmitCreated {
+		t.Fatalf("submit long: code %v err %v", code, err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if err := sched.Drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	settleToGoroutineCount(t, before)
+}
+
+// TestServerCloseAndDrainLeaksNoGoroutines covers the full sdcserve
+// shutdown path: HTTP server close followed by scheduler drain must
+// release the accept loop and every worker.
+func TestServerCloseAndDrainLeaksNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	sched, err := NewScheduler(Options{MaxJobs: 1, Queue: 4, CPU: 2, StateDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := Start("127.0.0.1:0", sched)
+	if err != nil {
+		_ = sched.Drain()
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("server close: %v", err)
+	}
+	if err := sched.Drain(); err != nil {
+		t.Errorf("drain: %v", err)
+	}
+
+	settleToGoroutineCount(t, before)
+}

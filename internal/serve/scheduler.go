@@ -576,12 +576,19 @@ func (s *Scheduler) Running() int {
 
 // Metrics aggregates the per-job telemetry recorders into one snapshot:
 // phase timers, color sweeps, worker busy/wait and structural counters
-// summed across every job this process has run.
+// summed across every job this process has run. Jobs are visited in
+// sorted ID order so the float sums (and therefore the /metrics body)
+// are bit-for-bit identical across calls and runs.
 func (s *Scheduler) Metrics() telemetry.Metrics {
 	s.mu.Lock()
-	recs := make([]*telemetry.Recorder, 0, len(s.jobs))
-	for _, j := range s.jobs {
-		if j.rec != nil {
+	ids := make([]string, 0, len(s.jobs))
+	for id := range s.jobs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	recs := make([]*telemetry.Recorder, 0, len(ids))
+	for _, id := range ids {
+		if j := s.jobs[id]; j.rec != nil {
 			recs = append(recs, j.rec)
 		}
 	}

@@ -125,8 +125,17 @@ func (p *Pool) Run(fn func(tid int)) {
 	}
 	p.wg.Add(p.threads)
 	for t := 0; t < p.threads; t++ {
+		// The send always completes: the dispatch mutex guarantees the
+		// workers are alive (Close blocks on it, post-Close Run panics
+		// above), and every worker is parked on its work channel.
+		// Cancellation granularity is deliberately one parallel region —
+		// StepCtx polls ctx between regions, never inside one.
+		//lint:ignore ctx-propagation workers are guaranteed alive under the dispatch mutex; a region is the cancellation quantum
 		p.work[t] <- body
 	}
+	// Bounded by the region barrier: every worker runs body exactly once
+	// and calls Done; cancellation is checked between regions (StepCtx).
+	//lint:ignore ctx-propagation region barrier is bounded by the workers' Done; ctx is polled between regions
 	p.wg.Wait()
 	if p.tel != nil {
 		// Wall clock of the whole region; each worker's barrier wait is

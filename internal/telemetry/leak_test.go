@@ -1,0 +1,74 @@
+package telemetry
+
+import (
+	"bytes"
+	"net/http"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// settleToGoroutineCount polls until the live goroutine count drops
+// back to at most before, failing if it never settles.
+func settleToGoroutineCount(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines did not settle: %d live, want <= %d", runtime.NumGoroutine(), before)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestServerCloseLeaksNoGoroutines is the dynamic half of the
+// goroutine-leak cross-validation (see internal/flow): after
+// Server.Close returns, the listener's accept loop and any connection
+// handlers must be gone. The static pass proves the same joins in
+// TestRealRepoShutdownPathsProveClean.
+func TestServerCloseLeaksNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	r := NewRecorder()
+	r.AddPhase(PhaseForce, time.Second)
+	srv, err := Serve("127.0.0.1:0", r.Snapshot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		_ = srv.Close()
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if err := srv.Close(); err != nil {
+		t.Errorf("server close: %v", err)
+	}
+	// Idle keep-alive client connections hold server-side handler
+	// goroutines alive; release them before counting.
+	http.DefaultClient.CloseIdleConnections()
+
+	settleToGoroutineCount(t, before)
+}
+
+// TestStreamerCloseLeaksNoGoroutines asserts Streamer.Close joins the
+// ticker goroutine rather than abandoning it.
+func TestStreamerCloseLeaksNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	r := NewRecorder()
+	var buf bytes.Buffer
+	s, err := StartStream(&buf, 5*time.Millisecond, r.Snapshot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	settleToGoroutineCount(t, before)
+}
