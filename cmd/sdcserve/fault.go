@@ -1,0 +1,13 @@
+//go:build !faultinject
+
+package main
+
+import "sdcmd/internal/atomicio"
+
+// storeFS returns the filesystem the durable store writes through. The
+// default build uses the real OS; building with `-tags faultinject`
+// swaps in a deterministic fault-injecting filesystem configured by the
+// SDCSERVE_STORE_FAULT environment variable (see fault_inject.go) so
+// crash/degraded behavior is drivable end to end from tests and manual
+// runs without touching production binaries.
+func storeFS() atomicio.FS { return atomicio.OS }

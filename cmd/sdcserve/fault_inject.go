@@ -1,0 +1,82 @@
+//go:build faultinject
+
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"sdcmd/internal/atomicio"
+	"sdcmd/internal/store"
+)
+
+// storeFS (faultinject build) wraps the OS filesystem with the store's
+// deterministic fault injector, armed from SDCSERVE_STORE_FAULT:
+//
+//	SDCSERVE_STORE_FAULT=everything        permanent disk death from boot
+//	SDCSERVE_STORE_FAULT=sync:2:crash      2nd fsync dies and takes the
+//	                                       disk with it
+//	SDCSERVE_STORE_FAULT=write:1,rename:3  transient one-shot faults
+//
+// Spec grammar: comma-separated op:call[:crash]; op is one of open,
+// write, sync, close, rename, remove, readfile, readdir, mkdirall,
+// stat. Unparseable specs abort startup loudly — a fault-injection run
+// with a silently empty schedule would prove nothing.
+func storeFS() atomicio.FS {
+	spec := os.Getenv("SDCSERVE_STORE_FAULT")
+	ffs := store.NewFaultFS(nil)
+	if spec == "" {
+		return ffs
+	}
+	if spec == "everything" {
+		ffs.FailEverything(nil)
+		return ffs
+	}
+	for _, part := range strings.Split(spec, ",") {
+		fa, err := parseFault(strings.TrimSpace(part))
+		if err != nil {
+			_, _ = fmt.Fprintf(os.Stderr, "sdcserve: SDCSERVE_STORE_FAULT: %v\n", err)
+			os.Exit(2)
+		}
+		ffs.Schedule(fa)
+	}
+	return ffs
+}
+
+var opsByName = map[string]store.Op{
+	"open":     store.OpOpenFile,
+	"write":    store.OpWrite,
+	"sync":     store.OpSync,
+	"close":    store.OpClose,
+	"rename":   store.OpRename,
+	"remove":   store.OpRemove,
+	"readfile": store.OpReadFile,
+	"readdir":  store.OpReadDir,
+	"mkdirall": store.OpMkdirAll,
+	"stat":     store.OpStat,
+}
+
+func parseFault(s string) (*store.Fault, error) {
+	fields := strings.Split(s, ":")
+	if len(fields) < 2 || len(fields) > 3 {
+		return nil, fmt.Errorf("bad fault %q (want op:call[:crash])", s)
+	}
+	op, ok := opsByName[fields[0]]
+	if !ok {
+		return nil, fmt.Errorf("unknown op %q in fault %q", fields[0], s)
+	}
+	call, err := strconv.Atoi(fields[1])
+	if err != nil || call < 1 {
+		return nil, fmt.Errorf("bad call count %q in fault %q", fields[1], s)
+	}
+	fa := &store.Fault{Op: op, Call: call}
+	if len(fields) == 3 {
+		if fields[2] != "crash" {
+			return nil, fmt.Errorf("bad modifier %q in fault %q (only \"crash\")", fields[2], s)
+		}
+		fa.Crash = true
+	}
+	return fa, nil
+}

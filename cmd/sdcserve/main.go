@@ -13,6 +13,14 @@
 //	curl -s localhost:8080/jobs/j000000/result
 //	curl -s -X DELETE localhost:8080/jobs/j000000
 //	curl -s localhost:8080/metrics
+//
+// With -store-dir the server also keeps a crash-safe durable result
+// store: completed results (plus final checkpoints and telemetry)
+// survive restarts and are queryable:
+//
+//	sdcserve -addr :8080 -store-dir /var/lib/sdcserve/store \
+//	    -store-max-bytes 1073741824 -store-max-age 720h
+//	curl -s 'localhost:8080/store?material=eam-fs&strategy=sdc&limit=10'
 package main
 
 import (
@@ -25,6 +33,7 @@ import (
 	"syscall"
 
 	"sdcmd/internal/serve"
+	"sdcmd/internal/store"
 )
 
 func main() {
@@ -42,6 +51,9 @@ func run(args []string) error {
 	cpu := fs.Int("cpu", runtime.NumCPU(), "total worker-thread budget split across shards")
 	stateDir := fs.String("state-dir", "", "drain checkpoints + resume manifests (empty = no persistence)")
 	checkEvery := fs.Int("check-every", 50, "guard invariant/progress interval per job in steps")
+	storeDir := fs.String("store-dir", "", "durable result store directory (empty = memory cache only)")
+	storeMaxBytes := fs.Int64("store-max-bytes", 0, "store retention: evict LRU entries beyond this footprint (0 = unbounded)")
+	storeMaxAge := fs.Duration("store-max-age", 0, "store retention: evict entries older than this (0 = keep forever)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -51,12 +63,27 @@ func run(args []string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	var st *store.Store
+	if *storeDir != "" {
+		// Open never fails: an unusable directory starts the store in
+		// degraded memory-only mode and the service still comes up.
+		st = store.Open(store.Options{
+			Dir:      *storeDir,
+			MaxBytes: *storeMaxBytes,
+			MaxAge:   *storeMaxAge,
+			FS:       storeFS(),
+		})
+		if st.Degraded() {
+			fmt.Printf("sdcserve: store %s unusable, serving memory-only (degraded)\n", *storeDir)
+		}
+	}
 	sched, err := serve.NewScheduler(serve.Options{
 		MaxJobs:    *maxJobs,
 		Queue:      *queue,
 		CPU:        *cpu,
 		StateDir:   *stateDir,
 		CheckEvery: *checkEvery,
+		Store:      st,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,140 @@
+package atomicio
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// tempSeq makes temp names unique within the process; the PID keeps
+// concurrent processes over one directory apart. Mutex-guarded on
+// purpose: sync/atomic is reserved for the CS reducer and telemetry.
+var (
+	tempMu  sync.Mutex
+	tempSeq uint64
+)
+
+// tempName derives a unique sibling temp path for path. The ".tmp-"
+// infix is the recovery contract: SweepTemps removes exactly these.
+func tempName(path string) string {
+	tempMu.Lock()
+	tempSeq++
+	n := tempSeq
+	tempMu.Unlock()
+	return fmt.Sprintf("%s.tmp-%d-%d", path, os.Getpid(), n)
+}
+
+// WriteFile atomically and durably replaces path with the bytes write
+// produces: they go to a unique temp file in the same directory, are
+// fsynced, the temp is renamed over path, and the parent directory is
+// fsynced so the rename itself survives a power cut. A crash at any
+// point leaves either the previous complete file or the new one —
+// never a torn file — plus at most one orphaned temp for SweepTemps.
+func WriteFile(fsys FS, path string, write func(io.Writer) error) error {
+	if fsys == nil {
+		fsys = OS
+	}
+	dir := filepath.Dir(path)
+	tmp := tempName(path)
+	f, err := fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("atomicio: temp for %s: %w", path, err)
+	}
+	err = write(f)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = fsys.Rename(tmp, path)
+	}
+	if err != nil {
+		// Best-effort cleanup; a survivor is caught by SweepTemps.
+		_ = fsys.Remove(tmp)
+		return fmt.Errorf("atomicio: write %s: %w", path, err)
+	}
+	if err := SyncDir(fsys, dir); err != nil {
+		// The content is in place but the rename may not be durable yet;
+		// report it so callers can retry or degrade.
+		return fmt.Errorf("atomicio: write %s: %w", path, err)
+	}
+	return nil
+}
+
+// WriteFileData is WriteFile over a byte slice.
+func WriteFileData(fsys FS, path string, data []byte) error {
+	return WriteFile(fsys, path, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}
+
+// SyncDir fsyncs a directory, making previously renamed entries in it
+// durable.
+func SyncDir(fsys FS, dir string) error {
+	if fsys == nil {
+		fsys = OS
+	}
+	if dir == "" {
+		dir = "."
+	}
+	d, err := fsys.OpenFile(dir, os.O_RDONLY, 0)
+	if err != nil {
+		return fmt.Errorf("atomicio: open dir %s: %w", dir, err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("atomicio: sync dir %s: %w", dir, err)
+	}
+	return nil
+}
+
+// IsTemp reports whether a file name is an atomic-write temp left by a
+// crashed WriteFile (this package's naming, or the pre-atomicio
+// checkpoint writer which used the same ".tmp-" infix).
+func IsTemp(name string) bool {
+	return strings.Contains(name, ".tmp-")
+}
+
+// SweepTemps removes orphaned atomic-write temp files from dir — the
+// startup recovery step after a crash mid-WriteFile. A non-empty
+// prefix restricts the sweep to temps for that base name (e.g. one
+// checkpoint's), so unrelated writers sharing the directory are left
+// alone. Returns how many were removed and the first removal error;
+// the sweep keeps going past individual failures.
+func SweepTemps(fsys FS, dir, prefix string) (int, error) {
+	if fsys == nil {
+		fsys = OS
+	}
+	entries, err := fsys.ReadDir(dir)
+	if err != nil {
+		return 0, fmt.Errorf("atomicio: sweep %s: %w", dir, err)
+	}
+	removed := 0
+	var firstErr error
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !IsTemp(name) {
+			continue
+		}
+		if prefix != "" && !strings.HasPrefix(name, prefix+".tmp-") {
+			continue
+		}
+		if err := fsys.Remove(filepath.Join(dir, name)); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		removed++
+	}
+	return removed, firstErr
+}

@@ -1,0 +1,205 @@
+package atomicio
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileReplacesAtomically(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.json")
+	if err := WriteFileData(OS, path, []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileData(OS, path, []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "new" {
+		t.Errorf("content %q, want new", b)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("directory holds %d entries after two writes, want 1 (no temps)", len(entries))
+	}
+}
+
+// failFS fails one operation by name the Nth time it is reached.
+type failFS struct {
+	FS
+	op    string
+	calls map[string]int
+	at    int
+}
+
+var errInjected = errors.New("injected fault")
+
+func (f *failFS) tick(op string) error {
+	f.calls[op]++
+	if op == f.op && f.calls[op] == f.at {
+		return errInjected
+	}
+	return nil
+}
+
+func (f *failFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	if err := f.tick("open"); err != nil {
+		return nil, err
+	}
+	file, err := f.FS.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &failFile{File: file, fs: f}, nil
+}
+
+func (f *failFS) Rename(oldpath, newpath string) error {
+	if err := f.tick("rename"); err != nil {
+		return err
+	}
+	return f.FS.Rename(oldpath, newpath)
+}
+
+type failFile struct {
+	File
+	fs *failFS
+}
+
+func (f *failFile) Write(p []byte) (int, error) {
+	if err := f.fs.tick("write"); err != nil {
+		return 0, err
+	}
+	return f.File.Write(p)
+}
+
+func (f *failFile) Sync() error {
+	if err := f.fs.tick("sync"); err != nil {
+		return err
+	}
+	return f.File.Sync()
+}
+
+// TestWriteFileFailureKeepsOldContent: whichever step of the pipeline
+// fails, the destination keeps its previous complete content and the
+// error surfaces.
+func TestWriteFileFailureKeepsOldContent(t *testing.T) {
+	for _, tc := range []struct {
+		op string
+		at int
+	}{
+		{"open", 1},   // temp creation
+		{"write", 1},  // payload write
+		{"sync", 1},   // file fsync
+		{"rename", 1}, // commit rename
+		{"open", 2},   // parent-dir open for fsync
+		{"sync", 2},   // parent-dir fsync
+	} {
+		t.Run(tc.op+"-"+string(rune('0'+tc.at)), func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "f")
+			if err := WriteFileData(OS, path, []byte("old")); err != nil {
+				t.Fatal(err)
+			}
+			ffs := &failFS{FS: OS, op: tc.op, at: tc.at, calls: map[string]int{}}
+			err := WriteFileData(ffs, path, []byte("new"))
+			if !errors.Is(err, errInjected) {
+				t.Fatalf("want injected error, got %v", err)
+			}
+			b, rerr := os.ReadFile(path)
+			if rerr != nil {
+				t.Fatal(rerr)
+			}
+			// The dir-fsync steps run after the commit rename: the new
+			// content is legitimately in place, just not yet durable.
+			want := "old"
+			if tc.at == 2 {
+				want = "new"
+			}
+			if string(b) != want {
+				t.Errorf("after %s fault: content %q, want %q", tc.op, b, want)
+			}
+		})
+	}
+}
+
+func TestSweepTemps(t *testing.T) {
+	dir := t.TempDir()
+	mustWrite := func(name, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustWrite("a.json", "keep")
+	mustWrite("a.json.tmp-123-4", "orphan")
+	mustWrite("b.sdck.tmp-99-1", "orphan")
+	mustWrite("c.tmpl", "keep") // .tmpl is not a temp
+
+	n, err := SweepTemps(OS, dir, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("swept %d temps, want 2", n)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	if got := strings.Join(names, ","); got != "a.json,c.tmpl" {
+		t.Errorf("survivors %q, want a.json,c.tmpl", got)
+	}
+}
+
+func TestSweepTempsPrefixScoped(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"ckpt.sdck.tmp-1-1", "other.json.tmp-1-2"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := SweepTemps(OS, dir, "ckpt.sdck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("swept %d, want 1 (prefix-scoped)", n)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "other.json.tmp-1-2")); err != nil {
+		t.Errorf("unrelated temp removed by scoped sweep: %v", err)
+	}
+}
+
+func TestWriteFileCallbackError(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	werr := errors.New("payload failure")
+	if err := WriteFile(OS, path, func(io.Writer) error { return werr }); !errors.Is(err, werr) {
+		t.Fatalf("want payload error, got %v", err)
+	}
+	if _, err := os.Stat(path); !errors.Is(err, fs.ErrNotExist) {
+		t.Error("failed write materialized the destination")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("%d leftover files after failed write, want 0", len(entries))
+	}
+}

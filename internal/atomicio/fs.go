@@ -1,0 +1,69 @@
+// Package atomicio is the durable-write substrate shared by every
+// on-disk artifact in the repo: guard checkpoints, serve drain
+// manifests and the content-addressed result store. It factors the one
+// discipline all of them need — temp file + fsync + rename + parent-
+// directory fsync — behind a pluggable FS interface, so tests can fail
+// any open/write/sync/rename at a chosen call count and prove the
+// recovery story instead of assuming it.
+package atomicio
+
+import (
+	"io"
+	"io/fs"
+	"os"
+)
+
+// File is the slice of *os.File the atomic-write discipline needs.
+type File interface {
+	io.Reader
+	io.Writer
+	// Sync flushes the file (or directory) to stable storage.
+	Sync() error
+	// Close releases the descriptor.
+	Close() error
+	// Name returns the path the file was opened with.
+	Name() string
+}
+
+// FS abstracts the filesystem operations behind every durable write
+// and recovery scan. The production implementation is OS; tests wrap
+// it (or replace it) to inject deterministic faults at any call site.
+type FS interface {
+	// OpenFile opens name with the given flags; it is the single entry
+	// point for creating temp files, reading entries back and opening
+	// directories for fsync.
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	// ReadFile reads the whole file (one verifiable read call site).
+	ReadFile(name string) ([]byte, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// ReadDir lists a directory.
+	ReadDir(name string) ([]fs.DirEntry, error)
+	// MkdirAll creates a directory tree.
+	MkdirAll(path string, perm fs.FileMode) error
+	// Stat reports file metadata.
+	Stat(name string) (fs.FileInfo, error)
+}
+
+// OS is the production FS: the real filesystem.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		// Return an explicit nil interface, not a typed-nil *os.File.
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) ReadFile(name string) ([]byte, error)         { return os.ReadFile(name) }
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                     { return os.Remove(name) }
+func (osFS) ReadDir(name string) ([]fs.DirEntry, error)   { return os.ReadDir(name) }
+func (osFS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) Stat(name string) (fs.FileInfo, error)        { return os.Stat(name) }

@@ -480,3 +480,29 @@ func TestPolicyValidation(t *testing.T) {
 		t.Error("Run after Close accepted")
 	}
 }
+
+func TestCheckpointTempSweepOnStartup(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.sdck")
+	// A crashed earlier run left a torn temp next to the checkpoint,
+	// plus an unrelated file that must survive the sweep.
+	stale := path + ".tmp-999-1"
+	other := filepath.Join(dir, "notes.txt")
+	for _, p := range []string{stale, other} {
+		if err := os.WriteFile(p, []byte("leftover"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sup, err := New(feSystem(t, 3, 150), md.DefaultConfig(),
+		Policy{CheckEvery: 5, CheckpointEvery: 10, CheckpointPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sup.Close()
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Errorf("stale checkpoint temp not swept (stat err: %v)", err)
+	}
+	if _, err := os.Stat(other); err != nil {
+		t.Errorf("sweep touched unrelated file: %v", err)
+	}
+}

@@ -6,8 +6,11 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"os"
+	"path/filepath"
 	"time"
 
+	"sdcmd/internal/atomicio"
 	"sdcmd/internal/md"
 	"sdcmd/internal/strategy"
 	"sdcmd/internal/xyz"
@@ -125,6 +128,18 @@ func newAt(sys *md.System, cfg md.Config, pol Policy, startStep int) (*Superviso
 	pol = pol.withDefaults()
 	if pol.CheckpointEvery > 0 && pol.CheckpointPath == "" {
 		return nil, errors.New("guard: CheckpointEvery set without CheckpointPath")
+	}
+	if pol.CheckpointPath != "" {
+		// A crash mid-checkpoint leaves a <base>.tmp-* file next to the
+		// real one; sweep it so restarts don't accumulate dead temps.
+		// Sweep failure is not fatal — the checkpoint itself still works.
+		dir, base := filepath.Split(pol.CheckpointPath)
+		if dir == "" {
+			dir = "."
+		}
+		if _, err := atomicio.SweepTemps(atomicio.OS, dir, base); err != nil {
+			_, _ = fmt.Fprintf(os.Stderr, "guard: checkpoint temp sweep: %v\n", err)
+		}
 	}
 	sim, err := md.NewSimulator(sys, cfg)
 	if err != nil {

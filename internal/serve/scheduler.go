@@ -1,11 +1,13 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io/fs"
+	"log"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -14,9 +16,12 @@ import (
 	"sync"
 	"time"
 
+	"sdcmd/internal/atomicio"
 	"sdcmd/internal/guard"
 	"sdcmd/internal/md"
+	"sdcmd/internal/store"
 	"sdcmd/internal/telemetry"
+	"sdcmd/internal/xyz"
 )
 
 // Cancellation causes, distinguished via context.Cause: a client DELETE
@@ -48,6 +53,11 @@ type Options struct {
 	// status Step counter advances at this granularity; cancellation
 	// itself stops the integrator within one MD step.
 	CheckEvery int
+	// Store, when non-nil, is the durable result store: completed
+	// results (with their final checkpoints and telemetry) are written
+	// through to it, and Submit consults it after an in-memory cache
+	// miss so cache hits survive restarts.
+	Store *store.Store
 }
 
 func (o Options) withDefaults() Options {
@@ -79,6 +89,12 @@ type Counters struct {
 	CacheHits int `json:"cache_hits"`
 	Coalesced int `json:"coalesced"`
 	Resumed   int `json:"resumed"`
+	// StoreHits counts cache hits served from the durable store after
+	// the in-memory cache missed (typically across a restart).
+	StoreHits int `json:"store_hits"`
+	// BadManifests counts corrupt drain manifests quarantined at
+	// startup instead of failing the boot.
+	BadManifests int `json:"bad_manifests"`
 }
 
 // Scheduler multiplexes simulation jobs over a fixed set of shard
@@ -164,8 +180,16 @@ func NewScheduler(opts Options) (*Scheduler, error) {
 }
 
 // scanManifests loads drain manifests left by a previous process,
-// in ID order so resumption is deterministic.
+// in ID order so resumption is deterministic. A manifest that cannot
+// be read or decoded is quarantined (renamed aside) and skipped: one
+// corrupt file must not stop the server from starting and resuming
+// every healthy job. Leftover atomic-write temps are swept first.
 func (s *Scheduler) scanManifests() ([]*Job, error) {
+	if n, err := atomicio.SweepTemps(atomicio.OS, s.opts.StateDir, ""); err != nil {
+		log.Printf("serve: temp sweep in %s: %v", s.opts.StateDir, err)
+	} else if n > 0 {
+		log.Printf("serve: swept %d leftover temp file(s) from %s", n, s.opts.StateDir)
+	}
 	entries, err := os.ReadDir(s.opts.StateDir)
 	if err != nil {
 		return nil, fmt.Errorf("serve: scan state dir: %w", err)
@@ -182,11 +206,13 @@ func (s *Scheduler) scanManifests() ([]*Job, error) {
 		path := filepath.Join(s.opts.StateDir, name)
 		b, err := os.ReadFile(path)
 		if err != nil {
-			return nil, fmt.Errorf("serve: read manifest %s: %w", name, err)
+			s.quarantineManifest(path, err)
+			continue
 		}
 		var m manifest
 		if err := json.Unmarshal(b, &m); err != nil {
-			return nil, fmt.Errorf("serve: decode manifest %s: %w", name, err)
+			s.quarantineManifest(path, err)
+			continue
 		}
 		j := &Job{
 			id:      m.ID,
@@ -206,6 +232,18 @@ func (s *Scheduler) scanManifests() ([]*Job, error) {
 		out = append(out, j)
 	}
 	return out, nil
+}
+
+// quarantineManifest moves a corrupt manifest to <name>.corrupt so the
+// evidence survives for inspection but never blocks another startup.
+func (s *Scheduler) quarantineManifest(path string, cause error) {
+	dst := path + ".corrupt"
+	if err := os.Rename(path, dst); err != nil {
+		log.Printf("serve: quarantine manifest %s: %v (corrupt: %v)", path, err, cause)
+		return
+	}
+	log.Printf("serve: quarantined corrupt manifest %s -> %s: %v", path, dst, cause)
+	s.counters.BadManifests++
 }
 
 // manifest is the on-disk record of a job interrupted by a drain.
@@ -230,30 +268,13 @@ func (s *Scheduler) checkpointPath(id string) string {
 }
 
 // writeManifest persists a job's resume record atomically (temp file +
-// rename, the same discipline as the guard checkpoints).
+// fsync + rename + parent-dir fsync, the shared atomicio discipline).
 func (s *Scheduler) writeManifest(m manifest) error {
 	b, err := json.Marshal(m)
 	if err != nil {
 		return fmt.Errorf("serve: encode manifest: %w", err)
 	}
-	f, err := os.CreateTemp(s.opts.StateDir, m.ID+".json.tmp*")
-	if err != nil {
-		return fmt.Errorf("serve: manifest temp: %w", err)
-	}
-	tmp := f.Name()
-	if _, err = f.Write(b); err == nil {
-		err = f.Sync()
-	}
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	if err == nil {
-		err = os.Rename(tmp, s.manifestPath(m.ID))
-	}
-	if err != nil {
-		// Best-effort cleanup of the temp file; the write error is the
-		// failure that matters.
-		_ = os.Remove(tmp)
+	if err := atomicio.WriteFileData(atomicio.OS, s.manifestPath(m.ID), b); err != nil {
 		return fmt.Errorf("serve: write manifest %s: %w", m.ID, err)
 	}
 	return nil
@@ -290,7 +311,22 @@ func (s *Scheduler) Submit(spec JobSpec) (Status, SubmitCode, error) {
 	if s.draining {
 		return Status{}, SubmitDraining, errors.New("serve: draining, not accepting jobs")
 	}
-	if res, ok := s.cache[h]; ok {
+	res, hit := s.cache[h]
+	if !hit && s.opts.Store != nil {
+		// Memory miss: the durable store may still hold the result from
+		// a previous process — it is what makes cache hits survive
+		// restarts.
+		if e, ok := s.opts.Store.Get(h); ok {
+			if err := json.Unmarshal(e.Result, &res); err != nil {
+				log.Printf("serve: store entry %s undecodable as result: %v", h, err)
+			} else {
+				s.cache[h] = res
+				s.counters.StoreHits++
+				hit = true
+			}
+		}
+	}
+	if hit {
 		// Content-addressed cache hit: materialize a done job backed by
 		// the stored result; no simulation runs.
 		j := s.newJobLocked(norm, h)
@@ -408,8 +444,15 @@ func (s *Scheduler) runJob(j *Job) {
 	defer cancel(nil)
 
 	started := time.Now()
-	res, runErr := s.execute(ctx, j, spec, resume, rec)
+	res, ckpt, runErr := s.execute(ctx, j, spec, resume, rec)
 	cause := context.Cause(ctx)
+	if runErr == nil {
+		res.WallSeconds = time.Since(started).Seconds()
+		// Durable write-through happens here, not in execute: the store
+		// retries transient IO with backoff sleeps, which must stay out
+		// of context-accepting call paths.
+		s.storePut(j.hash, spec, res, ckpt, rec)
+	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -418,7 +461,6 @@ func (s *Scheduler) runJob(j *Job) {
 	}
 	switch {
 	case runErr == nil:
-		res.WallSeconds = time.Since(started).Seconds()
 		j.state = StateDone
 		j.result = res
 		j.step = res.Steps
@@ -443,14 +485,50 @@ func (s *Scheduler) runJob(j *Job) {
 	}
 }
 
+// storePut writes a completed result through to the durable store.
+// Failure degrades the store to memory-only serving and is logged, not
+// propagated: a dead disk must not fail jobs that computed fine.
+func (s *Scheduler) storePut(hash string, spec JobSpec, res *Result, ckpt []byte, rec *telemetry.Recorder) {
+	if s.opts.Store == nil {
+		return
+	}
+	resJSON, err := json.Marshal(res)
+	if err != nil {
+		log.Printf("serve: encode result for store: %v", err)
+		return
+	}
+	e := store.Entry{
+		Meta: store.Meta{
+			Material: spec.Potential,
+			Cells:    spec.Cells,
+			Strategy: spec.Strategy,
+			Steps:    spec.Steps,
+		},
+		Result: resJSON,
+	}
+	if rec != nil {
+		if metJSON, merr := json.Marshal(rec.Snapshot()); merr == nil {
+			e.Metrics = metJSON
+		}
+	}
+	var arts map[string][]byte
+	if len(ckpt) > 0 {
+		arts = map[string][]byte{"checkpoint": ckpt}
+	}
+	if err := s.opts.Store.Put(hash, e, arts); err != nil {
+		log.Printf("serve: durable store put %s: %v", hash, err)
+	}
+}
+
 // execute runs the simulation under the guard supervisor, advancing the
 // job's visible step counter every CheckEvery steps. On a drain
 // cancellation it checkpoints the consistent post-cancel state and
-// persists the resume manifest before returning.
-func (s *Scheduler) execute(ctx context.Context, j *Job, spec JobSpec, resume string, rec *telemetry.Recorder) (*Result, error) {
+// persists the resume manifest before returning. On success it also
+// returns the final-state checkpoint encoding for the durable store.
+func (s *Scheduler) execute(ctx context.Context, j *Job, spec JobSpec, resume string, rec *telemetry.Recorder) (*Result, []byte, error) {
 	cfg, err := spec.mdConfig(rec)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	pol := guard.Policy{CheckEvery: s.opts.CheckEvery}
 	if s.opts.StateDir != "" {
@@ -462,12 +540,12 @@ func (s *Scheduler) execute(ctx context.Context, j *Job, spec JobSpec, resume st
 	} else {
 		var sys *md.System
 		if sys, err = spec.buildSystem(); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		sup, err = guard.New(sys, cfg, pol)
 	}
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer sup.Close()
 
@@ -482,25 +560,38 @@ func (s *Scheduler) execute(ctx context.Context, j *Job, spec JobSpec, resume st
 			if errors.Is(rerr, md.ErrCanceled) &&
 				errors.Is(context.Cause(ctx), errDrain) && pol.CheckpointPath != "" {
 				if cerr := sup.Checkpoint(); cerr != nil {
-					return nil, fmt.Errorf("serve: drain checkpoint: %w", cerr)
+					return nil, nil, fmt.Errorf("serve: drain checkpoint: %w", cerr)
 				}
 				m := manifest{ID: j.id, Hash: j.hash, Spec: spec,
 					Step: sup.StepCount(), Checkpoint: pol.CheckpointPath}
 				if merr := s.writeManifest(m); merr != nil {
-					return nil, merr
+					return nil, nil, merr
 				}
 			}
-			return nil, rerr
+			return nil, nil, rerr
 		}
 	}
 	sys := sup.System()
-	return &Result{
+	res := &Result{
 		Steps:           sup.StepCount(),
 		PotentialEnergy: sup.PotentialEnergy(),
 		KineticEnergy:   sys.KineticEnergy(),
 		TotalEnergy:     sup.TotalEnergy(),
 		Temperature:     sys.Temperature(),
-	}, nil
+	}
+	var ckpt []byte
+	if s.opts.Store != nil {
+		// Encode the final state once, in memory; the store persists it
+		// as a content-addressed artifact so a stored result can seed a
+		// bit-for-bit continuation run.
+		var buf bytes.Buffer
+		if cerr := xyz.WriteCheckpoint(&buf, xyz.FromSystem(sys, "Fe", "", sup.StepCount())); cerr != nil {
+			log.Printf("serve: encode final checkpoint for store: %v", cerr)
+		} else {
+			ckpt = buf.Bytes()
+		}
+	}
+	return res, ckpt, nil
 }
 
 func (s *Scheduler) setStep(j *Job, step int) {
@@ -545,6 +636,11 @@ func (s *Scheduler) Drain() error {
 	s.mu.Unlock()
 	s.wg.Wait()
 	return firstErr
+}
+
+// Store returns the durable result store, nil when not configured.
+func (s *Scheduler) Store() *store.Store {
+	return s.opts.Store
 }
 
 // Counters returns the lifetime totals.

@@ -7,9 +7,13 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
+
+	"sdcmd/internal/store"
+	"sdcmd/internal/telemetry"
 )
 
 // Server is the HTTP front end over a Scheduler.
@@ -22,7 +26,9 @@ import (
 //	DELETE /jobs/{id}        cancel; stops a running job within one step
 //	GET    /metrics          aggregated telemetry (Prometheus text, or
 //	                         JSON with ?format=json) + service counters
-//	GET    /healthz          liveness + drain state
+//	GET    /store            durable run catalog; filters material=,
+//	                         strategy=, cells=, min_steps=, limit=
+//	GET    /healthz          liveness + drain state + store health
 type Server struct {
 	sched *Scheduler
 	srv   *http.Server
@@ -64,11 +70,25 @@ func NewMux(sched *Scheduler) *http.ServeMux {
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		handleMetrics(sched, w, r)
 	})
+	mux.HandleFunc("GET /store", func(w http.ResponseWriter, r *http.Request) {
+		handleStore(sched, w, r)
+	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		// The store state rides on health: "degraded" means results are
+		// being served from memory only and will not survive a restart —
+		// alertable, but the service is still up.
+		storeState := "off"
+		if st := sched.Store(); st != nil {
+			storeState = "ok"
+			if st.Degraded() {
+				storeState = "degraded"
+			}
+		}
 		writeJSON(w, http.StatusOK, map[string]any{
 			"status":  "ok",
 			"running": sched.Running(),
 			"queued":  sched.QueueDepth(),
+			"store":   storeState,
 		})
 	})
 	return mux
@@ -139,26 +159,83 @@ func handleMetrics(sched *Scheduler, w http.ResponseWriter, r *http.Request) {
 	if err := m.WritePrometheus(w); err != nil {
 		return // client went away mid-scrape; nothing to salvage
 	}
-	for _, row := range []struct {
-		name, kind, help string
-		value            int
+	rows := []telemetry.Row{
+		{Name: "sdcserve_jobs_submitted_total", Kind: "counter", Help: "Jobs admitted to the queue.", Value: float64(c.Submitted)},
+		{Name: "sdcserve_jobs_completed_total", Kind: "counter", Help: "Jobs finished successfully.", Value: float64(c.Completed)},
+		{Name: "sdcserve_jobs_failed_total", Kind: "counter", Help: "Jobs that returned an error.", Value: float64(c.Failed)},
+		{Name: "sdcserve_jobs_canceled_total", Kind: "counter", Help: "Jobs canceled by clients.", Value: float64(c.Canceled)},
+		{Name: "sdcserve_jobs_rejected_total", Kind: "counter", Help: "Submissions rejected by queue backpressure.", Value: float64(c.Rejected)},
+		{Name: "sdcserve_cache_hits_total", Kind: "counter", Help: "Submissions served from the content-addressed result cache.", Value: float64(c.CacheHits)},
+		{Name: "sdcserve_jobs_coalesced_total", Kind: "counter", Help: "Submissions coalesced onto an identical in-flight job.", Value: float64(c.Coalesced)},
+		{Name: "sdcserve_jobs_resumed_total", Kind: "counter", Help: "Jobs re-admitted from drain manifests at startup.", Value: float64(c.Resumed)},
+		{Name: "sdcserve_bad_manifests_total", Kind: "counter", Help: "Corrupt drain manifests quarantined at startup.", Value: float64(c.BadManifests)},
+		{Name: "sdcserve_queue_depth", Kind: "gauge", Help: "Admitted jobs waiting for a shard.", Value: float64(sched.QueueDepth())},
+		{Name: "sdcserve_jobs_running", Kind: "gauge", Help: "Jobs currently executing.", Value: float64(sched.Running())},
+	}
+	if st := sched.Store(); st != nil {
+		ss := st.Stats()
+		degraded := 0.0
+		if ss.Degraded {
+			degraded = 1
+		}
+		rows = append(rows,
+			telemetry.Row{Name: "sdcserve_store_hits_total", Kind: "counter", Help: "Submissions served from the durable store after a memory miss.", Value: float64(c.StoreHits)},
+			telemetry.Row{Name: "sdcserve_store_puts_total", Kind: "counter", Help: "Results written durably to the store.", Value: float64(ss.Puts)},
+			telemetry.Row{Name: "sdcserve_store_put_errors_total", Kind: "counter", Help: "Store writes that failed after retries.", Value: float64(ss.PutErrors)},
+			telemetry.Row{Name: "sdcserve_store_misses_total", Kind: "counter", Help: "Store lookups that found nothing.", Value: float64(ss.Misses)},
+			telemetry.Row{Name: "sdcserve_store_quarantined_total", Kind: "counter", Help: "Corrupt or torn store entries quarantined.", Value: float64(ss.Quarantined)},
+			telemetry.Row{Name: "sdcserve_store_evicted_total", Kind: "counter", Help: "Store entries removed by the retention policy.", Value: float64(ss.Evicted)},
+			telemetry.Row{Name: "sdcserve_store_io_retries_total", Kind: "counter", Help: "Transient store IO errors retried with backoff.", Value: float64(ss.Retries)},
+			telemetry.Row{Name: "sdcserve_store_entries", Kind: "gauge", Help: "Entries in the durable catalog.", Value: float64(ss.Entries)},
+			telemetry.Row{Name: "sdcserve_store_bytes", Kind: "gauge", Help: "On-disk footprint of the store in bytes.", Value: float64(ss.Bytes)},
+			telemetry.Row{Name: "sdcserve_store_mem_entries", Kind: "gauge", Help: "Degraded-mode entries held only in memory.", Value: float64(ss.MemEntries)},
+			telemetry.Row{Name: "sdcserve_store_degraded", Kind: "gauge", Help: "1 when the store is serving memory-only after persistent disk failure.", Value: degraded},
+		)
+	}
+	if err := telemetry.WriteRows(w, rows); err != nil {
+		return // same: mid-scrape disconnect
+	}
+}
+
+// handleStore serves the durable run catalog: GET /store with optional
+// material=, strategy=, cells=, min_steps= and limit= query filters.
+func handleStore(sched *Scheduler, w http.ResponseWriter, r *http.Request) {
+	st := sched.Store()
+	if st == nil {
+		writeError(w, http.StatusNotFound, "durable store not configured (start with -store-dir)")
+		return
+	}
+	f := store.Filter{
+		Material: r.URL.Query().Get("material"),
+		Strategy: r.URL.Query().Get("strategy"),
+	}
+	for _, q := range []struct {
+		name string
+		dst  *int
 	}{
-		{"sdcserve_jobs_submitted_total", "counter", "Jobs admitted to the queue.", c.Submitted},
-		{"sdcserve_jobs_completed_total", "counter", "Jobs finished successfully.", c.Completed},
-		{"sdcserve_jobs_failed_total", "counter", "Jobs that returned an error.", c.Failed},
-		{"sdcserve_jobs_canceled_total", "counter", "Jobs canceled by clients.", c.Canceled},
-		{"sdcserve_jobs_rejected_total", "counter", "Submissions rejected by queue backpressure.", c.Rejected},
-		{"sdcserve_cache_hits_total", "counter", "Submissions served from the content-addressed result cache.", c.CacheHits},
-		{"sdcserve_jobs_coalesced_total", "counter", "Submissions coalesced onto an identical in-flight job.", c.Coalesced},
-		{"sdcserve_jobs_resumed_total", "counter", "Jobs re-admitted from drain manifests at startup.", c.Resumed},
-		{"sdcserve_queue_depth", "gauge", "Admitted jobs waiting for a shard.", sched.QueueDepth()},
-		{"sdcserve_jobs_running", "gauge", "Jobs currently executing.", sched.Running()},
+		{"cells", &f.Cells},
+		{"min_steps", &f.MinSteps},
+		{"limit", &f.Limit},
 	} {
-		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n",
-			row.name, row.help, row.name, row.kind, row.name, row.value); err != nil {
+		v := r.URL.Query().Get(q.name)
+		if v == "" {
+			continue
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("bad %s=%q", q.name, v))
 			return
 		}
+		*q.dst = n
 	}
+	entries := st.List(f)
+	ss := st.Stats()
+	writeJSON(w, http.StatusOK, struct {
+		Degraded bool                 `json:"degraded"`
+		Count    int                  `json:"count"`
+		Bytes    int64                `json:"bytes"`
+		Entries  []store.CatalogEntry `json:"entries"`
+	}{Degraded: ss.Degraded, Count: len(entries), Bytes: ss.Bytes, Entries: entries})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -1,0 +1,263 @@
+package store
+
+import (
+	"errors"
+	"io/fs"
+	"sync"
+
+	"sdcmd/internal/atomicio"
+)
+
+// ErrInjected is the default error a scheduled disk fault returns.
+var ErrInjected = errors.New("store: injected disk fault")
+
+// Op identifies one injectable filesystem call site, mirroring the
+// guard injector's deterministic fault schedule for disk IO: tests
+// fail any open/write/sync/rename/... at a chosen call count and prove
+// the recovery path instead of assuming it.
+type Op int
+
+// The injectable operations. OpWrite, OpSync and OpClose count calls
+// on files handed out by OpOpenFile; the rest are FS-level calls.
+const (
+	OpOpenFile Op = iota
+	OpWrite
+	OpSync
+	OpClose
+	OpRename
+	OpRemove
+	OpReadFile
+	OpReadDir
+	OpMkdirAll
+	OpStat
+
+	numOps
+)
+
+// String names the op for test output.
+func (o Op) String() string {
+	switch o {
+	case OpOpenFile:
+		return "open"
+	case OpWrite:
+		return "write"
+	case OpSync:
+		return "sync"
+	case OpClose:
+		return "close"
+	case OpRename:
+		return "rename"
+	case OpRemove:
+		return "remove"
+	case OpReadFile:
+		return "readfile"
+	case OpReadDir:
+		return "readdir"
+	case OpMkdirAll:
+		return "mkdirall"
+	case OpStat:
+		return "stat"
+	}
+	return "unknown"
+}
+
+// WriteOps are the operations on the durable-write pipeline — the
+// crash-matrix axes: every one of these failing at every reachable
+// call count must leave a recoverable store.
+var WriteOps = []Op{OpOpenFile, OpWrite, OpSync, OpClose, OpRename}
+
+// Fault is one scheduled fault: the Nth call of Op fails with Err.
+// With Crash set the whole filesystem dies at that point — every
+// subsequent call of every op fails too — modeling a process kill or
+// yanked disk mid-pipeline rather than a one-off transient error.
+type Fault struct {
+	Op   Op
+	Call int // 1-based count of Op calls
+	// Err is returned by the failed call (ErrInjected when nil).
+	Err error
+	// Crash turns the fault into permanent disk death.
+	Crash bool
+
+	fired bool
+}
+
+func (f *Fault) errOr() error {
+	if f.Err != nil {
+		return f.Err
+	}
+	return ErrInjected
+}
+
+// FaultFS wraps an atomicio.FS with a deterministic fault schedule.
+// Call counting is per-op and process-order deterministic because the
+// store serializes IO under its mutex.
+type FaultFS struct {
+	inner atomicio.FS
+
+	mu      sync.Mutex
+	calls   [numOps]int
+	faults  []*Fault
+	dead    bool
+	deadErr error
+}
+
+// NewFaultFS wraps inner (the OS when nil) with a fault schedule.
+func NewFaultFS(inner atomicio.FS, faults ...*Fault) *FaultFS {
+	if inner == nil {
+		inner = atomicio.OS
+	}
+	return &FaultFS{inner: inner, faults: faults}
+}
+
+// FailEverything flips permanent disk death immediately: every call of
+// every op fails with err (ErrInjected when nil) from now on.
+func (f *FaultFS) FailEverything(err error) {
+	if err == nil {
+		err = ErrInjected
+	}
+	f.mu.Lock()
+	f.dead = true
+	f.deadErr = err
+	f.mu.Unlock()
+}
+
+// Heal clears disk death and the remaining schedule (tests that model
+// a disk coming back).
+func (f *FaultFS) Heal() {
+	f.mu.Lock()
+	f.dead = false
+	f.deadErr = nil
+	f.faults = nil
+	f.mu.Unlock()
+}
+
+// Calls reports how many times op has been attempted (including failed
+// attempts) — the way matrix tests discover every injectable point.
+func (f *FaultFS) Calls(op Op) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls[op]
+}
+
+// Schedule adds a fault after construction, so tests can open a store
+// fault-free and then arm the schedule for one specific operation.
+func (f *FaultFS) Schedule(fa *Fault) {
+	f.mu.Lock()
+	f.faults = append(f.faults, fa)
+	f.mu.Unlock()
+}
+
+// ResetCalls zeroes the per-op counters (typically right after Open,
+// so scheduled call counts index into the operation under test alone).
+func (f *FaultFS) ResetCalls() {
+	f.mu.Lock()
+	f.calls = [numOps]int{}
+	f.mu.Unlock()
+}
+
+// tick counts one call of op and returns the scheduled failure, if any.
+func (f *FaultFS) tick(op Op) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.calls[op]++
+	if f.dead {
+		return f.deadErr
+	}
+	for _, fa := range f.faults {
+		if fa.fired || fa.Op != op || f.calls[op] != fa.Call {
+			continue
+		}
+		fa.fired = true
+		if fa.Crash {
+			f.dead = true
+			f.deadErr = fa.errOr()
+		}
+		return fa.errOr()
+	}
+	return nil
+}
+
+func (f *FaultFS) OpenFile(name string, flag int, perm fs.FileMode) (atomicio.File, error) {
+	if err := f.tick(OpOpenFile); err != nil {
+		return nil, err
+	}
+	file, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, fs: f}, nil
+}
+
+func (f *FaultFS) ReadFile(name string) ([]byte, error) {
+	if err := f.tick(OpReadFile); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadFile(name)
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if err := f.tick(OpRename); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Remove(name string) error {
+	if err := f.tick(OpRemove); err != nil {
+		return err
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *FaultFS) ReadDir(name string) ([]fs.DirEntry, error) {
+	if err := f.tick(OpReadDir); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadDir(name)
+}
+
+func (f *FaultFS) MkdirAll(path string, perm fs.FileMode) error {
+	if err := f.tick(OpMkdirAll); err != nil {
+		return err
+	}
+	return f.inner.MkdirAll(path, perm)
+}
+
+func (f *FaultFS) Stat(name string) (fs.FileInfo, error) {
+	if err := f.tick(OpStat); err != nil {
+		return nil, err
+	}
+	return f.inner.Stat(name)
+}
+
+// faultFile routes file-level calls through the owning FaultFS's
+// schedule, so write/sync/close faults are schedulable alongside the
+// FS-level ones.
+type faultFile struct {
+	atomicio.File
+	fs *FaultFS
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	if err := f.fs.tick(OpWrite); err != nil {
+		return 0, err
+	}
+	return f.File.Write(p)
+}
+
+func (f *faultFile) Sync() error {
+	if err := f.fs.tick(OpSync); err != nil {
+		return err
+	}
+	return f.File.Sync()
+}
+
+func (f *faultFile) Close() error {
+	if err := f.fs.tick(OpClose); err != nil {
+		// The underlying descriptor still needs releasing or long
+		// matrix runs leak fds; the injected error is what callers see.
+		_ = f.File.Close()
+		return err
+	}
+	return f.File.Close()
+}

@@ -1,0 +1,389 @@
+package store
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// discardLog keeps test output clean; the messages themselves are
+// asserted through counters.
+func discardLog(string, ...any) {}
+
+func testOpts(dir string) Options {
+	return Options{Dir: dir, Logf: discardLog, RetryBackoff: time.Microsecond}
+}
+
+// key returns a distinct valid content address per index.
+func key(i int) string {
+	return strings.Repeat("0", 62) + string(rune('a'+i/10)) + string(rune('0'+i%10))
+}
+
+func resultDoc(s string) json.RawMessage {
+	return json.RawMessage(`{"result":"` + s + `"}`)
+}
+
+func mustPut(t *testing.T, s *Store, k string, doc string, artifacts map[string][]byte) {
+	t.Helper()
+	e := Entry{
+		Meta:   Meta{Material: "eam-fs", Cells: 3, Strategy: "serial", Steps: 10},
+		Result: resultDoc(doc),
+	}
+	if err := s.Put(k, e, artifacts); err != nil {
+		t.Fatalf("put %s: %v", k, err)
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := Open(testOpts(dir))
+	art := []byte("checkpoint-bytes")
+	mustPut(t, s, key(1), "alpha", map[string][]byte{"checkpoint": art})
+
+	e, ok := s.Get(key(1))
+	if !ok {
+		t.Fatal("fresh put not found")
+	}
+	if string(e.Result) != `{"result":"alpha"}` {
+		t.Errorf("result %s", e.Result)
+	}
+	if e.Meta.Material != "eam-fs" || e.Meta.Cells != 3 {
+		t.Errorf("meta %+v", e.Meta)
+	}
+	got, ok := s.Artifact(key(1), "checkpoint")
+	if !ok || string(got) != string(art) {
+		t.Errorf("artifact roundtrip: ok=%v %q", ok, got)
+	}
+	st := s.Stats()
+	if st.Puts != 1 || st.Hits != 1 || st.Entries != 1 || st.Degraded {
+		t.Errorf("stats %+v", st)
+	}
+	if st.Bytes <= 0 {
+		t.Error("zero byte accounting")
+	}
+}
+
+func TestGetQuarantinesCorruptEntry(t *testing.T) {
+	dir := t.TempDir()
+	s := Open(testOpts(dir))
+	mustPut(t, s, key(2), "beta", nil)
+
+	// Flip one byte of the committed entry file.
+	path := filepath.Join(dir, objectsDir, key(2)+".json")
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 0xff
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok := s.Get(key(2)); ok {
+		t.Fatal("corrupt entry served")
+	}
+	st := s.Stats()
+	if st.Quarantined != 1 || st.Misses != 1 {
+		t.Errorf("stats %+v, want 1 quarantined, 1 miss", st)
+	}
+	if st.Degraded {
+		t.Error("corruption degraded the store; only persistent IO failure should")
+	}
+	// The bytes moved to quarantine — never deleted.
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Error("corrupt entry still in objects/")
+	}
+	q, err := os.ReadDir(filepath.Join(dir, quarantineDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q) != 1 || !strings.HasSuffix(q[0].Name(), ".corrupt") {
+		t.Errorf("quarantine dir: %v", q)
+	}
+	// Misses stay misses; no crash, no resurrection.
+	if _, ok := s.Get(key(2)); ok {
+		t.Error("quarantined entry served on second read")
+	}
+}
+
+func TestArtifactCorruptionQuarantinesEntry(t *testing.T) {
+	dir := t.TempDir()
+	s := Open(testOpts(dir))
+	mustPut(t, s, key(3), "gamma", map[string][]byte{"traj": []byte("frames")})
+	e, ok := s.Get(key(3))
+	if !ok {
+		t.Fatal("entry missing")
+	}
+	art := e.Artifacts["traj"]
+	path := filepath.Join(dir, objectsDir, art.File)
+	if err := os.WriteFile(path, []byte("frameX"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Artifact(key(3), "traj"); ok {
+		t.Fatal("corrupt artifact served")
+	}
+	if st := s.Stats(); st.Quarantined != 1 {
+		t.Errorf("stats %+v, want quarantined 1", st)
+	}
+	if _, ok := s.Get(key(3)); ok {
+		t.Error("entry with corrupt artifact still served")
+	}
+}
+
+func TestRecoveryScanSweepsAndRebuilds(t *testing.T) {
+	dir := t.TempDir()
+	s := Open(testOpts(dir))
+	mustPut(t, s, key(4), "delta", map[string][]byte{"ck": []byte("ckdata")})
+	mustPut(t, s, key(5), "epsilon", nil)
+
+	objects := filepath.Join(dir, objectsDir)
+	// A crashed write leaves a temp; a crash between artifact and entry
+	// commit leaves an unreferenced blob; a torn entry fails its sum.
+	for name, content := range map[string]string{
+		key(6) + ".json.tmp-123-9":       "half-written",
+		key(7) + ".art-0011223344556677": "orphan blob",
+		key(8) + ".json":                 `{"entry":{"key":"x"},"sum":"deadbeef"}`,
+	} {
+		if err := os.WriteFile(filepath.Join(objects, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s2 := Open(testOpts(dir))
+	st := s2.Stats()
+	if st.Entries != 2 {
+		t.Errorf("recovered %d entries, want 2", st.Entries)
+	}
+	if st.SweptTemps != 1 {
+		t.Errorf("swept %d temps, want 1", st.SweptTemps)
+	}
+	if st.SweptOrphans != 1 {
+		t.Errorf("swept %d orphans, want 1", st.SweptOrphans)
+	}
+	if st.Quarantined != 1 {
+		t.Errorf("quarantined %d, want 1 (torn entry)", st.Quarantined)
+	}
+	if e, ok := s2.Get(key(4)); !ok || string(e.Result) != `{"result":"delta"}` {
+		t.Errorf("entry lost across restart: ok=%v", ok)
+	}
+	if b, ok := s2.Artifact(key(4), "ck"); !ok || string(b) != "ckdata" {
+		t.Errorf("artifact lost across restart: ok=%v %q", ok, b)
+	}
+}
+
+func TestTransientFaultIsRetried(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(nil)
+	opts := testOpts(dir)
+	opts.FS = ffs
+	s := Open(opts)
+	ffs.Schedule(&Fault{Op: OpSync, Call: 1})
+	mustPut(t, s, key(9), "zeta", nil)
+	st := s.Stats()
+	if st.Degraded {
+		t.Error("one transient fault degraded the store")
+	}
+	if st.Retries == 0 {
+		t.Error("no retry recorded for the transient fault")
+	}
+	if _, ok := s.Get(key(9)); !ok {
+		t.Error("entry lost after retried put")
+	}
+}
+
+func TestPersistentFailureDegradesButKeepsServing(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(nil)
+	opts := testOpts(dir)
+	opts.FS = ffs
+	opts.Retries = 2
+	s := Open(opts)
+	mustPut(t, s, key(10), "eta", nil)
+
+	ffs.FailEverything(nil)
+	err := s.Put(key(11), Entry{Result: resultDoc("theta")}, map[string][]byte{"a": []byte("x")})
+	if err == nil {
+		t.Fatal("put on dead disk reported success")
+	}
+	if !s.Degraded() {
+		t.Fatal("dead disk did not degrade the store")
+	}
+	// The failed put is still served — from memory.
+	e, ok := s.Get(key(11))
+	if !ok || string(e.Result) != `{"result":"theta"}` {
+		t.Errorf("degraded entry not served from memory: ok=%v", ok)
+	}
+	if b, ok := s.Artifact(key(11), "a"); !ok || string(b) != "x" {
+		t.Errorf("degraded artifact not served: ok=%v %q", ok, b)
+	}
+	// Later puts go straight to memory and succeed.
+	if err := s.Put(key(12), Entry{Result: resultDoc("iota")}, nil); err != nil {
+		t.Errorf("degraded-mode put failed: %v", err)
+	}
+	if _, ok := s.Get(key(12)); !ok {
+		t.Error("degraded-mode put not served")
+	}
+	st := s.Stats()
+	if st.PutErrors != 1 || st.MemEntries != 2 {
+		t.Errorf("stats %+v, want 1 put error, 2 mem entries", st)
+	}
+	// List includes the memory entries so the catalog stays honest.
+	if got := len(s.List(Filter{})); got != 3 {
+		t.Errorf("list length %d, want 3", got)
+	}
+}
+
+func TestGCMaxBytesEvictsLRU(t *testing.T) {
+	dir := t.TempDir()
+	opts := testOpts(dir)
+	s := Open(opts)
+	mustPut(t, s, key(13), "one", nil)
+	entrySize := s.Stats().Bytes
+	// Two entries fit, three do not.
+	s.opts.MaxBytes = 2*entrySize + entrySize/2
+
+	mustPut(t, s, key(14), "two", nil)
+	// Touch the first entry so key(14) becomes the LRU victim.
+	if _, ok := s.Get(key(13)); !ok {
+		t.Fatal("warm-up get failed")
+	}
+	mustPut(t, s, key(15), "three", nil)
+
+	st := s.Stats()
+	if st.Evicted != 1 {
+		t.Fatalf("evicted %d, want 1 (stats %+v)", st.Evicted, st)
+	}
+	if _, ok := s.Get(key(14)); ok {
+		t.Error("LRU entry survived eviction")
+	}
+	for _, k := range []string{key(13), key(15)} {
+		if _, ok := s.Get(k); !ok {
+			t.Errorf("entry %s wrongly evicted", k)
+		}
+	}
+	if st.Bytes > s.opts.MaxBytes {
+		t.Errorf("footprint %d above cap %d", st.Bytes, s.opts.MaxBytes)
+	}
+}
+
+func TestGCMaxAgeEvictsOld(t *testing.T) {
+	dir := t.TempDir()
+	opts := testOpts(dir)
+	opts.MaxAge = time.Hour
+	s := Open(opts)
+	old := Entry{Result: resultDoc("old"), CreatedUnix: time.Now().Add(-2 * time.Hour).Unix()}
+	if err := s.Put(key(16), old, nil); err != nil {
+		t.Fatal(err)
+	}
+	mustPut(t, s, key(17), "fresh", nil)
+	s.GC()
+	if _, ok := s.Get(key(16)); ok {
+		t.Error("expired entry survived GC")
+	}
+	if _, ok := s.Get(key(17)); !ok {
+		t.Error("fresh entry evicted")
+	}
+	if st := s.Stats(); st.Evicted != 1 {
+		t.Errorf("evicted %d, want 1", st.Evicted)
+	}
+}
+
+func TestListFilters(t *testing.T) {
+	dir := t.TempDir()
+	s := Open(testOpts(dir))
+	put := func(i int, material, strat string, cells, steps int) {
+		t.Helper()
+		e := Entry{
+			Meta:   Meta{Material: material, Strategy: strat, Cells: cells, Steps: steps},
+			Result: resultDoc("r"),
+			// Distinct creation times make the newest-first order checkable.
+			CreatedUnix: time.Now().Add(time.Duration(i) * time.Second).Unix(),
+		}
+		if err := s.Put(key(i), e, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	put(20, "eam-fs", "serial", 3, 10)
+	put(21, "eam-fs", "sdc", 6, 100)
+	put(22, "eam-johnson", "sdc", 6, 1000)
+
+	if got := len(s.List(Filter{})); got != 3 {
+		t.Fatalf("unfiltered %d, want 3", got)
+	}
+	if got := s.List(Filter{Material: "eam-johnson"}); len(got) != 1 || got[0].Key != key(22) {
+		t.Errorf("material filter: %+v", got)
+	}
+	if got := s.List(Filter{Strategy: "sdc", Cells: 6}); len(got) != 2 {
+		t.Errorf("strategy+cells filter: %d, want 2", len(got))
+	}
+	if got := s.List(Filter{MinSteps: 50}); len(got) != 2 {
+		t.Errorf("min-steps filter: %d, want 2", len(got))
+	}
+	all := s.List(Filter{})
+	if all[0].Key != key(22) || all[2].Key != key(20) {
+		t.Errorf("not newest-first: %s..%s", all[0].Key, all[2].Key)
+	}
+	if got := s.List(Filter{Limit: 1}); len(got) != 1 || got[0].Key != key(22) {
+		t.Errorf("limit: %+v", got)
+	}
+}
+
+func TestOpenWithDeadDiskStartsDegraded(t *testing.T) {
+	ffs := NewFaultFS(nil)
+	ffs.FailEverything(nil)
+	opts := testOpts(t.TempDir())
+	opts.FS = ffs
+	opts.Retries = 2
+	s := Open(opts)
+	if !s.Degraded() {
+		t.Fatal("store on dead disk not degraded")
+	}
+	// It still serves: puts land in memory, gets answer.
+	if err := s.Put(key(23), Entry{Result: resultDoc("mem")}, nil); err != nil {
+		t.Errorf("degraded put: %v", err)
+	}
+	if _, ok := s.Get(key(23)); !ok {
+		t.Error("degraded store does not serve")
+	}
+}
+
+func TestInvalidKeyRejected(t *testing.T) {
+	s := Open(testOpts(t.TempDir()))
+	for _, k := range []string{"", "short", strings.Repeat("Z", 64), strings.Repeat("a", 63) + "/"} {
+		if err := s.Put(k, Entry{Result: resultDoc("x")}, nil); err == nil {
+			t.Errorf("key %q accepted", k)
+		}
+	}
+}
+
+func TestPutReplaceSwitchesArtifactsAtomically(t *testing.T) {
+	dir := t.TempDir()
+	s := Open(testOpts(dir))
+	mustPut(t, s, key(24), "v1", map[string][]byte{"ck": []byte("old-bytes")})
+	mustPut(t, s, key(24), "v2", map[string][]byte{"ck": []byte("new-bytes")})
+	e, ok := s.Get(key(24))
+	if !ok || string(e.Result) != `{"result":"v2"}` {
+		t.Fatalf("replacement not visible: ok=%v", ok)
+	}
+	if b, ok := s.Artifact(key(24), "ck"); !ok || string(b) != "new-bytes" {
+		t.Errorf("artifact after replace: ok=%v %q", ok, b)
+	}
+	// The superseded blob is gone; exactly one entry + one blob remain.
+	entries, err := os.ReadDir(filepath.Join(dir, objectsDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		var names []string
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Errorf("objects/ holds %v, want entry + one blob", names)
+	}
+	if s.Len() != 1 {
+		t.Errorf("len %d, want 1", s.Len())
+	}
+}

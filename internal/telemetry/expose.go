@@ -34,6 +34,28 @@ func (p *promWriter) header(name, kind, help string) {
 	p.printf("# TYPE %s %s\n", name, kind)
 }
 
+// Row is one self-describing exposition row (an unlabeled family with a
+// single sample) for services that append their own counters after a
+// Metrics block — e.g. the sdcserve_* job and store counters.
+type Row struct {
+	// Name is the metric family name; Kind is "counter" or "gauge".
+	Name, Kind, Help string
+	Value            float64
+}
+
+// WriteRows renders rows in the Prometheus text exposition format with
+// the same HELP/TYPE discipline as WritePrometheus, returning the first
+// write error. Integral values render without a decimal point, so
+// counters composed through here match hand-written %d output.
+func WriteRows(w io.Writer, rows []Row) error {
+	b := &promWriter{w: w}
+	for _, r := range rows {
+		b.header(r.Name, r.Kind, r.Help)
+		b.printf("%s %g\n", r.Name, r.Value)
+	}
+	return b.err
+}
+
 // WritePrometheus renders the snapshot in the Prometheus text
 // exposition format (version 0.0.4). Metric names are stable API; see
 // DESIGN.md "Observability".

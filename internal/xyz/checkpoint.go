@@ -6,8 +6,8 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
-	"path/filepath"
 
+	"sdcmd/internal/atomicio"
 	"sdcmd/internal/box"
 	"sdcmd/internal/vec"
 )
@@ -163,35 +163,14 @@ func ReadCheckpoint(r io.Reader) (*Snapshot, error) {
 
 // WriteCheckpointFile atomically replaces path with a checkpoint of s:
 // the bytes go to a temporary file in the same directory, are fsynced,
-// and only then renamed over path. A crash at any point leaves either
-// the previous complete checkpoint or the new one — never a torn file —
-// which is what makes unattended periodic checkpointing safe to resume
-// from.
-func WriteCheckpointFile(path string, s *Snapshot) (err error) {
-	dir, base := filepath.Split(path)
-	if dir == "" {
-		dir = "."
-	}
-	tmp, err := os.CreateTemp(dir, base+".tmp-*")
-	if err != nil {
-		return fmt.Errorf("xyz: checkpoint temp file: %w", err)
-	}
-	defer func() {
-		if err != nil {
-			_ = tmp.Close()           // best-effort cleanup on the error path
-			_ = os.Remove(tmp.Name()) // the partial temp file must not survive
-		}
-	}()
-	if err = WriteCheckpoint(tmp, s); err != nil {
-		return err
-	}
-	if err = tmp.Sync(); err != nil {
-		return err
-	}
-	if err = tmp.Close(); err != nil {
-		return err
-	}
-	return os.Rename(tmp.Name(), path)
+// renamed over path, and the parent directory is fsynced so the rename
+// itself is durable. A crash at any point leaves either the previous
+// complete checkpoint or the new one — never a torn file — which is
+// what makes unattended periodic checkpointing safe to resume from.
+func WriteCheckpointFile(path string, s *Snapshot) error {
+	return atomicio.WriteFile(atomicio.OS, path, func(w io.Writer) error {
+		return WriteCheckpoint(w, s)
+	})
 }
 
 // ReadCheckpointFile reads a checkpoint written by WriteCheckpointFile
