@@ -5,8 +5,9 @@
 //	sdcbench -experiment reorder             # §II.D reordering gains
 //	sdcbench -experiment numa                # §V future-work NUMA study
 //	sdcbench -experiment cluster             # §V future-work hybrid cluster study
-//	sdcbench -experiment all                 # everything
+//	sdcbench -experiment tasked              # tasked vs SDC -> BENCH_tasked.json
 //	sdcbench -experiment serve               # job-service throughput -> BENCH_serve.json
+//	sdcbench -experiment all                 # everything, including tasked and serve
 //	sdcbench -experiment table1 -mode measured -cells 10 -steps 20
 //
 // Model mode (default) predicts the paper's 16-core Xeon E7320 testbed
@@ -37,9 +38,15 @@ func main() {
 	}
 }
 
+// allExperiments is the single source of truth for what -experiment
+// all runs — every experiment the command knows, in render order. The
+// usage string promises "everything", so skipping one here is a bug
+// (the flag-coverage test in main_test.go pins the set).
+var allExperiments = []string{"table1", "fig9", "reorder", "numa", "cluster", "tasked", "serve"}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("sdcbench", flag.ContinueOnError)
-	exp := fs.String("experiment", "all", "table1|fig9|reorder|numa|cluster|serve|all")
+	exp := fs.String("experiment", "all", strings.Join(allExperiments, "|")+"|all")
 	mode := fs.String("mode", "model", "model (predict paper testbed) | measured (time this host)")
 	cells := fs.Int("cells", 8, "measured mode: replica cells per side")
 	steps := fs.Int("steps", 10, "measured mode: timed force evaluations")
@@ -49,11 +56,11 @@ func run(args []string) error {
 	serveJobs := fs.Int("serve-jobs", 8, "serve experiment: jobs to push through the service")
 	serveShards := fs.Int("serve-shards", 2, "serve experiment: concurrent shards")
 	serveOut := fs.String("serve-out", "BENCH_serve.json", "serve experiment: machine-readable output file")
+	taskedOut := fs.String("tasked-out", "BENCH_tasked.json", "tasked experiment: machine-readable output file")
+	baseline := fs.String("baseline", "", "tasked experiment: committed baseline JSON to diff speed ratios against")
+	benchTol := fs.Float64("bench-tolerance", 0.5, "tasked experiment: relative tolerance for the baseline ratio diff")
 	if err := fs.Parse(args); err != nil {
 		return err
-	}
-	if *exp == "serve" {
-		return runServeBench(*serveJobs, *serveShards, *steps, *serveOut)
 	}
 
 	var ts []int
@@ -77,13 +84,22 @@ func run(args []string) error {
 	}
 	names := []string{*exp}
 	if *exp == "all" {
-		names = []string{"table1", "fig9", "reorder", "numa", "cluster"}
+		names = allExperiments
 	}
 	for i, name := range names {
 		if i > 0 {
 			fmt.Println()
 		}
-		if err := sdcmd.RunExperiment(name, opts); err != nil {
+		var err error
+		switch name {
+		case "serve":
+			err = runServeBench(*serveJobs, *serveShards, *steps, *serveOut)
+		case "tasked":
+			err = sdcmd.RunTaskedBench(opts, *taskedOut, *baseline, *benchTol)
+		default:
+			err = sdcmd.RunExperiment(name, opts)
+		}
+		if err != nil {
 			return err
 		}
 	}

@@ -39,4 +39,5 @@ func ExampleStrategies() {
 	// atomic
 	// sap
 	// rc
+	// tasked
 }

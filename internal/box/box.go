@@ -119,6 +119,15 @@ func (b Box) MinImage(pi, pj vec.Vec3) vec.Vec3 {
 	return d
 }
 
+// MinImageComp applies the minimum-image convention to a raw
+// component-wise displacement (dx, dy, dz) = p_i - p_j. It performs
+// exactly the arithmetic MinImage performs on the assembled vector, so
+// callers holding SoA component arrays (core.SoA3) get bit-identical
+// displacements without gathering whole Vec3 values first.
+func (b Box) MinImageComp(dx, dy, dz float64) vec.Vec3 {
+	return b.MinImage(vec.Vec3{dx, dy, dz}, vec.Vec3{})
+}
+
 // Distance2 returns the squared minimum-image distance between pi and pj.
 func (b Box) Distance2(pi, pj vec.Vec3) float64 {
 	return b.MinImage(pi, pj).Norm2()

@@ -174,6 +174,28 @@ func TestMinImageMatchesBruteForce(t *testing.T) {
 	}
 }
 
+// TestMinImageCompBitIdentical pins the SoA-kernel contract: assembling
+// the displacement from component arrays and running it through
+// MinImageComp yields the exact floats MinImage yields on the original
+// vectors — the force engine's SoA repack cannot perturb trajectories.
+func TestMinImageCompBitIdentical(t *testing.T) {
+	b := MustNew(vec.Zero, vec.New(2, 3, 4))
+	b.Periodic = [3]bool{true, false, true}
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 2000; i++ {
+		p := vec.New(rng.Float64()*9-3, rng.Float64()*9-3, rng.Float64()*9-3)
+		q := vec.New(rng.Float64()*9-3, rng.Float64()*9-3, rng.Float64()*9-3)
+		want := b.MinImage(p, q)
+		got := b.MinImageComp(p[0]-q[0], p[1]-q[1], p[2]-q[2])
+		for a := 0; a < 3; a++ {
+			if math.Float64bits(got[a]) != math.Float64bits(want[a]) {
+				t.Fatalf("component %d differs: %x vs %x (p=%v q=%v)",
+					a, math.Float64bits(got[a]), math.Float64bits(want[a]), p, q)
+			}
+		}
+	}
+}
+
 func TestMinImageNonPeriodic(t *testing.T) {
 	b := MustNew(vec.Zero, vec.Splat(2))
 	b.Periodic = [3]bool{false, false, false}

@@ -17,6 +17,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"sdcmd/internal/box"
 	"sdcmd/internal/vec"
@@ -100,7 +101,20 @@ type Decomposition struct {
 
 	// axes are the split axes (defaults to Dim.Axes()).
 	axes []vec.Axis
+	// contiguous records whether PartIndex is the identity permutation,
+	// i.e. atoms are already stored in block-major subdomain order so
+	// subdomain s occupies the dense range [PStart[s], PStart[s+1]).
+	// Recomputed by every Rebin.
+	contiguous bool
 }
+
+// Contiguous reports whether the atom partition is the identity
+// permutation: subdomain s's atoms are exactly the dense index range
+// [PStart[s], PStart[s+1]). This holds after the block-reorder pass
+// (applying PartIndex as a NewToOld permutation to the system arrays and
+// rebinning), and lets force sweeps walk packed blocks instead of
+// indirecting through PartIndex.
+func (d *Decomposition) Contiguous() bool { return d.contiguous }
 
 // Axes returns the split axes.
 func (d *Decomposition) Axes() []vec.Axis { return d.axes }
@@ -268,6 +282,13 @@ func (d *Decomposition) Rebin(pos []vec.Vec3) {
 		d.PartIndex[cursor[s]] = int32(i)
 		cursor[s]++
 	}
+	d.contiguous = true
+	for k, i := range d.PartIndex {
+		if int(i) != k {
+			d.contiguous = false
+			break
+		}
+	}
 }
 
 // Atoms returns the atom indices of subdomain s (aliases storage).
@@ -348,6 +369,26 @@ func (d *Decomposition) ForNeighborSubdomains(s int, fn func(flat int)) {
 			}
 		}
 	}
+}
+
+// AdjacencyLists returns, for every subdomain, the ascending flat
+// indices of its adjacent subdomains (the 3×3×3 neighborhood minus the
+// subdomain itself, with periodic wrap). The task scheduler precomputes
+// this once per decomposition to build its readiness DAG.
+func (d *Decomposition) AdjacencyLists() [][]int32 {
+	ns := d.NumSubdomains()
+	adj := make([][]int32, ns)
+	for s := 0; s < ns; s++ {
+		var nbr []int32
+		d.ForNeighborSubdomains(s, func(o int) {
+			if o != s {
+				nbr = append(nbr, int32(o))
+			}
+		})
+		sort.Slice(nbr, func(i, j int) bool { return nbr[i] < nbr[j] })
+		adj[s] = nbr
+	}
+	return adj
 }
 
 // Verify checks the SDC invariants; tests and debug builds call it

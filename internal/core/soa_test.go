@@ -1,0 +1,116 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"sdcmd/internal/box"
+	"sdcmd/internal/vec"
+)
+
+func TestSoA3PackAtUnpack(t *testing.T) {
+	src := []vec.Vec3{
+		vec.New(1, 2, 3),
+		vec.New(-4.5, 0, 7.25),
+		vec.New(math.Pi, math.E, -1e-300),
+	}
+	var s SoA3
+	s.Pack(src)
+	if s.Len() != len(src) {
+		t.Fatalf("Len = %d, want %d", s.Len(), len(src))
+	}
+	for i, v := range src {
+		if s.At(i) != v {
+			t.Errorf("At(%d) = %v, want %v", i, s.At(i), v)
+		}
+	}
+	dst := make([]vec.Vec3, len(src))
+	s.Unpack(dst)
+	for i := range src {
+		if dst[i] != src[i] {
+			t.Errorf("Unpack[%d] = %v, want %v", i, dst[i], src[i])
+		}
+	}
+}
+
+func TestSoA3ResizeReusesCapacity(t *testing.T) {
+	var s SoA3
+	s.Pack(make([]vec.Vec3, 64))
+	px := &s.X[0]
+	s.Pack(make([]vec.Vec3, 32))
+	if s.Len() != 32 {
+		t.Fatalf("Len = %d after shrink, want 32", s.Len())
+	}
+	if &s.X[0] != px {
+		t.Error("shrink reallocated the X slice")
+	}
+	s.Resize(128)
+	if s.Len() != 128 || len(s.Y) != 128 || len(s.Z) != 128 {
+		t.Fatalf("grow left lengths %d/%d/%d, want 128", len(s.X), len(s.Y), len(s.Z))
+	}
+}
+
+func TestContiguousDetection(t *testing.T) {
+	bx := box.MustNew(vec.Zero, vec.Splat(40))
+	pos := randomPositions(400, bx, 7)
+	dec, err := Decompose(bx, pos, Dim2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Contiguous() {
+		t.Fatal("random positions should not bin to the identity partition")
+	}
+	// Apply the partition as a reorder: new slot k holds old atom
+	// PartIndex[k]. Rebinning the reordered positions must then yield
+	// the identity partition.
+	reordered := make([]vec.Vec3, len(pos))
+	for k, old := range dec.PartIndex {
+		reordered[k] = pos[old]
+	}
+	dec.Rebin(reordered)
+	if !dec.Contiguous() {
+		t.Fatal("block-reordered positions must be contiguous")
+	}
+	for k, i := range dec.PartIndex {
+		if int(i) != k {
+			t.Fatalf("PartIndex[%d] = %d after reorder", k, i)
+		}
+	}
+	if err := dec.Verify(reordered); err != nil {
+		t.Fatalf("Verify after reorder: %v", err)
+	}
+	// Any subsequent motion that changes binning drops the flag.
+	dec.Rebin(pos)
+	if dec.Contiguous() {
+		t.Fatal("scattered positions must clear the contiguous flag")
+	}
+}
+
+func TestAdjacencyListsMatchAdjacentSubdomains(t *testing.T) {
+	bx := box.MustNew(vec.Zero, vec.New(50, 37, 29))
+	pos := randomPositions(200, bx, 9)
+	dec, err := Decompose(bx, pos, Dim3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adj := dec.AdjacencyLists()
+	ns := dec.NumSubdomains()
+	if len(adj) != ns {
+		t.Fatalf("got %d adjacency lists, want %d", len(adj), ns)
+	}
+	for s := 0; s < ns; s++ {
+		in := make(map[int32]bool, len(adj[s]))
+		for i, o := range adj[s] {
+			if i > 0 && adj[s][i-1] >= o {
+				t.Fatalf("adjacency list of %d not strictly ascending: %v", s, adj[s])
+			}
+			in[o] = true
+		}
+		for o := 0; o < ns; o++ {
+			if dec.AdjacentSubdomains(s, o) != in[int32(o)] {
+				t.Fatalf("subdomain %d vs %d: AdjacentSubdomains=%v, list=%v",
+					s, o, dec.AdjacentSubdomains(s, o), in[int32(o)])
+			}
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"math"
 
 	"sdcmd/internal/box"
+	"sdcmd/internal/core"
 	"sdcmd/internal/potential"
 	"sdcmd/internal/strategy"
 	"sdcmd/internal/telemetry"
@@ -30,6 +31,16 @@ type Engine struct {
 
 	rho []float64 // electron densities ρ_i (phase 1 output)
 	fp  []float64 // embedding derivatives F'(ρ_i) (phase 2 output)
+
+	// soa holds the positions of the current evaluation repacked into
+	// structure-of-arrays component streams. The pair kernels read X/Y/Z
+	// instead of gathering whole Vec3 values, so a cell-blocked sweep
+	// (core.Decomposition.Contiguous) streams three dense arrays — the
+	// cache-blocking layout the tasked strategy's SoA refactor targets.
+	// Repacking is O(N) per evaluation against O(pairs) kernel work.
+	// Forces stay AoS ([]vec.Vec3): the strategies accumulate per
+	// component in place and the integrator consumes Vec3 directly.
+	soa core.SoA3
 
 	tel *telemetry.Recorder // per-phase timers; nil = disabled
 }
@@ -74,10 +85,14 @@ func (e *Engine) resize(n int) {
 
 // densityVisit is the phase-1 kernel: φ(r) flows both ways for a
 // single-species system (this is also §II.D.1's optimization — i's
-// contribution to j is computed in the same visit).
-func (e *Engine) densityVisit(pos []vec.Vec3) strategy.ScalarVisit {
+// contribution to j is computed in the same visit). It reads the
+// SoA-packed positions of the latest pack() — three dense component
+// streams instead of an AoS Vec3 gather — with arithmetic bit-identical
+// to Box.Distance on the original vectors.
+func (e *Engine) densityVisit() strategy.ScalarVisit {
+	x, y, z := e.soa.X, e.soa.Y, e.soa.Z
 	return func(i, j int32) (float64, float64) {
-		r := e.Box.Distance(pos[i], pos[j])
+		r := e.Box.MinImageComp(x[i]-x[j], y[i]-y[j], z[i]-z[j]).Norm()
 		phi, _ := e.Pot.Density(r)
 		return phi, phi
 	}
@@ -86,11 +101,13 @@ func (e *Engine) densityVisit(pos []vec.Vec3) strategy.ScalarVisit {
 // forceVisit is the phase-3 kernel implementing the paper's eq. (2):
 // the pair force magnitude is V'(r) + (F'(ρ_i)+F'(ρ_j))·φ'(r), directed
 // along the minimum-image separation. It is antisymmetric, as the
-// strategy contract requires.
-func (e *Engine) forceVisit(pos []vec.Vec3) strategy.VectorVisit {
+// strategy contract requires. Like densityVisit it reads the SoA
+// component streams.
+func (e *Engine) forceVisit() strategy.VectorVisit {
 	fp := e.fp
+	x, y, z := e.soa.X, e.soa.Y, e.soa.Z
 	return func(i, j int32) vec.Vec3 {
-		d := e.Box.MinImage(pos[i], pos[j])
+		d := e.Box.MinImageComp(x[i]-x[j], y[i]-y[j], z[i]-z[j])
 		r := d.Norm()
 		if r <= 0 || r >= e.Pot.Cutoff() {
 			return vec.Vec3{}
@@ -102,6 +119,10 @@ func (e *Engine) forceVisit(pos []vec.Vec3) strategy.VectorVisit {
 	}
 }
 
+// pack repacks pos into the SoA scratch; every public entry point calls
+// it before building kernels so the closures alias current data.
+func (e *Engine) pack(pos []vec.Vec3) { e.soa.Pack(pos) }
+
 // Compute runs the three phases and writes forces into f (overwritten).
 // len(f) must equal len(pos) and match the reducer's neighbor list.
 func (e *Engine) Compute(red strategy.Reducer, pos []vec.Vec3, f []vec.Vec3) (Result, error) {
@@ -110,13 +131,14 @@ func (e *Engine) Compute(red strategy.Reducer, pos []vec.Vec3, f []vec.Vec3) (Re
 		return Result{}, fmt.Errorf("force: force array length %d != %d atoms", len(f), n)
 	}
 	e.resize(n)
+	e.pack(pos)
 
 	// Phase 1: electron densities (irregular scalar reduction).
 	sp := e.tel.Span()
 	for i := range e.rho {
 		e.rho[i] = 0
 	}
-	red.SweepScalar(e.rho, e.densityVisit(pos))
+	red.SweepScalar(e.rho, e.densityVisit())
 	e.tel.EndPhase(telemetry.PhaseDensity, sp)
 
 	// Phase 2: embedding energies and F'(ρ) — no cross-iteration
@@ -165,7 +187,7 @@ func (e *Engine) Compute(red strategy.Reducer, pos []vec.Vec3, f []vec.Vec3) (Re
 	// Phase 3: forces (irregular vector reduction).
 	sp = e.tel.Span()
 	vec.Fill(f, vec.Vec3{})
-	red.SweepVector(f, e.forceVisit(pos))
+	red.SweepVector(f, e.forceVisit())
 	e.tel.EndPhase(telemetry.PhaseForce, sp)
 	return res, nil
 }
@@ -173,9 +195,11 @@ func (e *Engine) Compute(red strategy.Reducer, pos []vec.Vec3, f []vec.Vec3) (Re
 // PairEnergy computes Σ_pairs V(r) with one extra scalar sweep (each
 // atom receives half of each bond's energy).
 func (e *Engine) PairEnergy(red strategy.Reducer, pos []vec.Vec3) float64 {
+	e.pack(pos)
 	per := make([]float64, len(pos))
+	x, y, z := e.soa.X, e.soa.Y, e.soa.Z
 	red.SweepScalar(per, func(i, j int32) (float64, float64) {
-		r := e.Box.Distance(pos[i], pos[j])
+		r := e.Box.MinImageComp(x[i]-x[j], y[i]-y[j], z[i]-z[j]).Norm()
 		v, _ := e.Pot.Energy(r)
 		return v / 2, v / 2
 	})
@@ -192,10 +216,11 @@ func (e *Engine) PairEnergy(red strategy.Reducer, pos []vec.Vec3) float64 {
 func (e *Engine) PotentialEnergy(red strategy.Reducer, pos []vec.Vec3) (total, pair, embed float64) {
 	n := len(pos)
 	e.resize(n)
+	e.pack(pos)
 	for i := range e.rho {
 		e.rho[i] = 0
 	}
-	red.SweepScalar(e.rho, e.densityVisit(pos))
+	red.SweepScalar(e.rho, e.densityVisit())
 	threads := red.Threads()
 	partial := make([]float64, threads)
 	red.ParallelForAtoms(func(start, end, tid int) {
@@ -222,10 +247,12 @@ func (e *Engine) Virial(red strategy.Reducer, pos []vec.Vec3) (float64, error) {
 	if len(e.fp) != len(pos) {
 		return 0, fmt.Errorf("force: Virial requires a preceding Compute on the same system")
 	}
+	e.pack(pos)
 	per := make([]float64, len(pos))
-	fv := e.forceVisit(pos)
+	fv := e.forceVisit()
+	x, y, z := e.soa.X, e.soa.Y, e.soa.Z
 	red.SweepScalar(per, func(i, j int32) (float64, float64) {
-		d := e.Box.MinImage(pos[i], pos[j])
+		d := e.Box.MinImageComp(x[i]-x[j], y[i]-y[j], z[i]-z[j])
 		w := d.Dot(fv(i, j))
 		return w / 2, w / 2
 	})
@@ -246,7 +273,9 @@ func (e *Engine) StressTensor(red strategy.Reducer, pos []vec.Vec3) ([3][3]float
 	if len(e.fp) != len(pos) {
 		return w, fmt.Errorf("force: StressTensor requires a preceding Compute on the same system")
 	}
-	fv := e.forceVisit(pos)
+	e.pack(pos)
+	fv := e.forceVisit()
+	x, y, z := e.soa.X, e.soa.Y, e.soa.Z
 	per := make([]float64, len(pos))
 	for a := 0; a < 3; a++ {
 		for b := a; b < 3; b++ {
@@ -254,7 +283,7 @@ func (e *Engine) StressTensor(red strategy.Reducer, pos []vec.Vec3) ([3][3]float
 				per[k] = 0
 			}
 			red.SweepScalar(per, func(i, j int32) (float64, float64) {
-				d := e.Box.MinImage(pos[i], pos[j])
+				d := e.Box.MinImageComp(x[i]-x[j], y[i]-y[j], z[i]-z[j])
 				v := d[a] * fv(i, j)[b]
 				return v / 2, v / 2
 			})

@@ -1,0 +1,285 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"sdcmd/internal/core"
+	"sdcmd/internal/force"
+	"sdcmd/internal/lattice"
+	"sdcmd/internal/neighbor"
+	"sdcmd/internal/potential"
+	"sdcmd/internal/reorder"
+	"sdcmd/internal/strategy"
+	"sdcmd/internal/telemetry"
+	"sdcmd/internal/vec"
+)
+
+// Tasked-experiment configuration names. The three-way comparison
+// isolates the two effects the tasked strategy combines: sdc-scattered
+// is the seed behavior (barrier-per-color SDC over the unordered atom
+// layout), sdc-blocked adds the §II.D cache-blocking reorder (the SDC
+// sweeps then stream dense PStart ranges), and tasked runs the
+// work-stealing cell-task scheduler over the same blocked layout.
+const (
+	TaskedConfigScattered = "sdc-scattered"
+	TaskedConfigBlocked   = "sdc-blocked"
+	TaskedConfigTasked    = "tasked"
+)
+
+// TaskedRow is one measured configuration of the tasked experiment.
+type TaskedRow struct {
+	// Case is "small" or "large"; Cells/Atoms record its size.
+	Case  string `json:"case"`
+	Cells int    `json:"cells"`
+	Atoms int    `json:"atoms"`
+	// Config is one of the TaskedConfig* names.
+	Config string `json:"config"`
+	// MsPerCall is the mean wall time of one three-phase force
+	// evaluation in milliseconds.
+	MsPerCall float64 `json:"ms_per_call"`
+	// Tasks/Steals/Stolen are the scheduler's summed per-worker
+	// counters (tasked config only): cell tasks executed, successful
+	// steal operations, and tasks acquired by stealing.
+	Tasks  int64 `json:"tasks,omitempty"`
+	Steals int64 `json:"steals,omitempty"`
+	Stolen int64 `json:"stolen,omitempty"`
+}
+
+// TaskedResult is the full experiment: the committed BENCH_tasked.json
+// baseline is one of these, so the field set is stable API.
+type TaskedResult struct {
+	Threads int         `json:"threads"`
+	Steps   int         `json:"steps"`
+	Rows    []TaskedRow `json:"rows"`
+}
+
+// taskedCases are the two sizes: the small case at opts.MeasuredCells
+// and the large case at twice that edge (8x the atoms).
+func taskedCases(opts Options) []struct {
+	name  string
+	cells int
+} {
+	return []struct {
+		name  string
+		cells int
+	}{
+		{"small", opts.MeasuredCells},
+		{"large", 2 * opts.MeasuredCells},
+	}
+}
+
+// RunTasked executes the tasked-vs-SDC head-to-head: for each case it
+// times the three configurations over opts.MeasuredSteps force calls
+// (after one warmup call) at the last entry of opts.Threads. Always a
+// real measurement on this host — there is no model mode for a
+// scheduler whose point is synchronization structure, not arithmetic.
+func RunTasked(opts Options) (*TaskedResult, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	threads := opts.Threads[len(opts.Threads)-1]
+	res := &TaskedResult{Threads: threads, Steps: opts.MeasuredSteps}
+	for _, c := range taskedCases(opts) {
+		for _, config := range []string{TaskedConfigScattered, TaskedConfigBlocked, TaskedConfigTasked} {
+			row, err := measureTaskedConfig(opts, c.name, c.cells, threads, config)
+			if err != nil {
+				return nil, fmt.Errorf("harness: tasked %s/%s: %w", c.name, config, err)
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+// measureTaskedConfig times one (case, config) combination.
+func measureTaskedConfig(opts Options, caseName string, cells, threads int, config string) (TaskedRow, error) {
+	var none TaskedRow
+	cfg, err := lattice.ScaledCase(cells)
+	if err != nil {
+		return none, err
+	}
+	cfg.Jitter(0.05, 1234)
+	pos := cfg.Pos
+	reach := opts.Cutoff + opts.Skin
+
+	dec, err := core.Decompose(cfg.Box, pos, core.Dim2, reach)
+	if err != nil {
+		return none, err
+	}
+	if config != TaskedConfigScattered {
+		// Block reorder: PartIndex is exactly the cell-major NewToOld
+		// mapping; after permuting and rebinning it is the identity and
+		// the dense-range fast paths engage.
+		perm, err := reorder.FromNewToOld(dec.PartIndex)
+		if err != nil {
+			return none, err
+		}
+		pos = perm.ApplyVec3(pos)
+		dec.Rebin(pos)
+		if !dec.Contiguous() {
+			return none, fmt.Errorf("block reorder did not produce a contiguous decomposition")
+		}
+	}
+
+	list, err := neighbor.Builder{Cutoff: opts.Cutoff, Skin: opts.Skin, Half: true}.Build(cfg.Box, pos)
+	if err != nil {
+		return none, err
+	}
+	pool, err := strategy.NewPool(threads)
+	if err != nil {
+		return none, err
+	}
+	defer pool.Close()
+
+	kind := strategy.SDC
+	if config == TaskedConfigTasked {
+		kind = strategy.Tasked
+	}
+	rec := telemetry.NewRecorder()
+	red, err := strategy.New(strategy.Config{Kind: kind, List: list, Pool: pool, Decomp: dec, Telemetry: rec})
+	if err != nil {
+		return none, err
+	}
+	// The write-set check runs on the warmup call only, never inside the
+	// timed loop: CheckedReducer's recording slows the SDC configs ~30x
+	// but not tasked (WriteDepOrderedPair is non-recording), which would
+	// turn the tasked/sdc ratio — the number baselines compare — into an
+	// instrumentation artifact.
+	warm := strategy.Reducer(red)
+	var chk *strategy.CheckedReducer
+	if opts.Check {
+		chk = strategy.NewCheckedReducer(red)
+		warm = chk
+	}
+	eng, err := force.NewEngine(potential.DefaultFe(), cfg.Box)
+	if err != nil {
+		return none, err
+	}
+	f := make([]vec.Vec3, len(pos))
+	if _, err := eng.Compute(warm, pos, f); err != nil { // warmup
+		return none, err
+	}
+	if chk != nil {
+		if err := chk.Err(); err != nil {
+			return none, fmt.Errorf("%s sweep failed the write-set check: %w", config, err)
+		}
+	}
+	start := time.Now()
+	for s := 0; s < opts.MeasuredSteps; s++ {
+		if _, err := eng.Compute(red, pos, f); err != nil {
+			return none, err
+		}
+	}
+	elapsed := time.Since(start)
+	row := TaskedRow{
+		Case:      caseName,
+		Cells:     cells,
+		Atoms:     len(pos),
+		Config:    config,
+		MsPerCall: elapsed.Seconds() * 1e3 / float64(opts.MeasuredSteps),
+	}
+	for _, w := range rec.Snapshot().Workers {
+		row.Tasks += w.Tasks
+		row.Steals += w.Steals
+		row.Stolen += w.Stolen
+	}
+	return row, nil
+}
+
+// row finds one measurement; nil if the result does not contain it.
+func (r *TaskedResult) row(caseName, config string) *TaskedRow {
+	for i := range r.Rows {
+		if r.Rows[i].Case == caseName && r.Rows[i].Config == config {
+			return &r.Rows[i]
+		}
+	}
+	return nil
+}
+
+// Ratio returns tasked time / sdc-blocked time for a case — < 1 means
+// the work-stealing scheduler beats barrier SDC on the same layout.
+// The ratio, not the absolute times, is what baseline comparisons
+// check: it is far less sensitive to host speed than milliseconds.
+func (r *TaskedResult) Ratio(caseName string) (float64, error) {
+	t := r.row(caseName, TaskedConfigTasked)
+	s := r.row(caseName, TaskedConfigBlocked)
+	if t == nil || s == nil || s.MsPerCall <= 0 {
+		return 0, fmt.Errorf("harness: case %q missing tasked/sdc-blocked rows", caseName)
+	}
+	return t.MsPerCall / s.MsPerCall, nil
+}
+
+// CompareTaskedBaseline checks res against a committed baseline: for
+// every case present in both, the tasked/sdc-blocked ratio must agree
+// within tol (relative). Absolute times are not compared — CI machines
+// are not the baseline machine.
+func CompareTaskedBaseline(res, baseline *TaskedResult, tol float64) error {
+	if tol <= 0 {
+		return fmt.Errorf("harness: baseline tolerance %g must be positive", tol)
+	}
+	checked := 0
+	for _, c := range []string{"small", "large"} {
+		got, err := res.Ratio(c)
+		if err != nil {
+			continue
+		}
+		want, err := baseline.Ratio(c)
+		if err != nil {
+			continue
+		}
+		checked++
+		if diff := got - want; diff > tol*want || diff < -tol*want {
+			return fmt.Errorf("harness: %s-case tasked/sdc ratio %.3f drifted from baseline %.3f (tolerance %.0f%%)",
+				c, got, want, tol*100)
+		}
+	}
+	if checked == 0 {
+		return fmt.Errorf("harness: no comparable cases between result and baseline")
+	}
+	return nil
+}
+
+// WriteJSON emits the result as indented JSON (the BENCH_tasked.json
+// format).
+func (r *TaskedResult) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// ReadTaskedResult parses a WriteJSON document (a committed baseline).
+func ReadTaskedResult(r io.Reader) (*TaskedResult, error) {
+	var res TaskedResult
+	if err := json.NewDecoder(r).Decode(&res); err != nil {
+		return nil, fmt.Errorf("harness: bad tasked baseline: %w", err)
+	}
+	return &res, nil
+}
+
+// Render prints the comparison table.
+func (r *TaskedResult) Render(w io.Writer) error {
+	p := &printer{w: w}
+	p.printf("Tasked vs SDC — cell-task work stealing over blocked SoA layout (%d threads, %d calls)\n", r.Threads, r.Steps)
+	p.printf("  %-6s %-14s %8s %12s %10s %10s\n", "case", "config", "atoms", "ms/call", "steals", "stolen")
+	for _, row := range r.Rows {
+		p.printf("  %-6s %-14s %8d %12.3f", row.Case, row.Config, row.Atoms, row.MsPerCall)
+		if row.Config == TaskedConfigTasked {
+			p.printf(" %10d %10d", row.Steals, row.Stolen)
+		}
+		p.printf("\n")
+	}
+	for _, c := range []string{"small", "large"} {
+		if ratio, err := r.Ratio(c); err == nil {
+			p.printf("  %s: tasked/sdc-blocked ratio %.3f (< 1 means tasked wins)\n", c, ratio)
+		}
+	}
+	return p.Err()
+}

@@ -1,0 +1,113 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func fakeTaskedResult(smallRatio, largeRatio float64) *TaskedResult {
+	return &TaskedResult{Threads: 4, Steps: 10, Rows: []TaskedRow{
+		{Case: "small", Cells: 8, Atoms: 1024, Config: TaskedConfigScattered, MsPerCall: 12},
+		{Case: "small", Cells: 8, Atoms: 1024, Config: TaskedConfigBlocked, MsPerCall: 10},
+		{Case: "small", Cells: 8, Atoms: 1024, Config: TaskedConfigTasked, MsPerCall: 10 * smallRatio, Tasks: 640, Steals: 7, Stolen: 20},
+		{Case: "large", Cells: 16, Atoms: 8192, Config: TaskedConfigScattered, MsPerCall: 120},
+		{Case: "large", Cells: 16, Atoms: 8192, Config: TaskedConfigBlocked, MsPerCall: 100},
+		{Case: "large", Cells: 16, Atoms: 8192, Config: TaskedConfigTasked, MsPerCall: 100 * largeRatio, Tasks: 5120, Steals: 31, Stolen: 96},
+	}}
+}
+
+func TestTaskedRatio(t *testing.T) {
+	res := fakeTaskedResult(0.9, 0.8)
+	got, err := res.Ratio("large")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 0.799 || got > 0.801 {
+		t.Errorf("large ratio = %g, want 0.8", got)
+	}
+	if _, err := res.Ratio("nonexistent"); err == nil {
+		t.Error("missing case accepted")
+	}
+}
+
+func TestCompareTaskedBaseline(t *testing.T) {
+	base := fakeTaskedResult(0.9, 0.8)
+	if err := CompareTaskedBaseline(fakeTaskedResult(0.92, 0.82), base, 0.1); err != nil {
+		t.Errorf("within-tolerance drift rejected: %v", err)
+	}
+	if err := CompareTaskedBaseline(fakeTaskedResult(0.9, 1.3), base, 0.1); err == nil {
+		t.Error("large-case regression accepted")
+	}
+	if err := CompareTaskedBaseline(fakeTaskedResult(0.9, 0.8), base, 0); err == nil {
+		t.Error("non-positive tolerance accepted")
+	}
+	if err := CompareTaskedBaseline(&TaskedResult{}, base, 0.1); err == nil {
+		t.Error("empty result with no comparable cases accepted")
+	}
+}
+
+func TestTaskedJSONRoundTrip(t *testing.T) {
+	res := fakeTaskedResult(0.9, 0.8)
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTaskedResult(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Threads != res.Threads || len(back.Rows) != len(res.Rows) {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	if back.Rows[2].Tasks != 640 || back.Rows[5].Stolen != 96 {
+		t.Errorf("task counters lost: %+v", back.Rows)
+	}
+	if _, err := ReadTaskedResult(strings.NewReader("not json")); err == nil {
+		t.Error("garbage baseline accepted")
+	}
+}
+
+func TestTaskedRender(t *testing.T) {
+	var buf bytes.Buffer
+	if err := fakeTaskedResult(0.9, 0.8).Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"sdc-scattered", "sdc-blocked", "tasked", "ratio 0.800", "4 threads"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunTaskedMeasuredTiny is the end-to-end smoke: a real (tiny)
+// measurement must produce all six rows, positive times, executed
+// tasks on the tasked rows, and a clean write-set check.
+func TestRunTaskedMeasuredTiny(t *testing.T) {
+	res, err := RunTasked(Options{Threads: []int{2}, MeasuredCells: 6, MeasuredSteps: 1, Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("got %d rows, want 6: %+v", len(res.Rows), res.Rows)
+	}
+	var tasks int64
+	for _, r := range res.Rows {
+		if r.MsPerCall <= 0 {
+			t.Errorf("%s/%s: non-positive ms/call", r.Case, r.Config)
+		}
+		if r.Config == TaskedConfigTasked {
+			tasks += r.Tasks
+		}
+	}
+	if tasks == 0 {
+		t.Error("tasked rows executed zero tasks")
+	}
+	if _, err := res.Ratio("small"); err != nil {
+		t.Errorf("small ratio unavailable: %v", err)
+	}
+	if _, err := RunTasked(Options{Threads: []int{0}}); err == nil {
+		t.Error("bad options accepted")
+	}
+}

@@ -181,7 +181,7 @@ func TestStrategiesProduceIdenticalTrajectories(t *testing.T) {
 	if err := ref.Step(20); err != nil {
 		t.Fatal(err)
 	}
-	for _, k := range []strategy.Kind{strategy.SDC, strategy.RC, strategy.SAP} {
+	for _, k := range []strategy.Kind{strategy.SDC, strategy.RC, strategy.SAP, strategy.Tasked} {
 		sim, sys := mkSim(k, 3)
 		if err := sim.Step(20); err != nil {
 			t.Fatalf("%v: %v", k, err)
@@ -193,6 +193,75 @@ func TestStrategiesProduceIdenticalTrajectories(t *testing.T) {
 			}
 		}
 		sim.Close()
+	}
+}
+
+// TestBlockReorderPreservesPhysics runs the same system with and
+// without the block-reorder pass. The reorder relabels atoms, so the
+// runs are compared on relabeling-invariant quantities (energies,
+// momentum) and on the position multiset, while the reordered run must
+// actually reach the contiguous fast path.
+func TestBlockReorderPreservesPhysics(t *testing.T) {
+	run := func(k strategy.Kind, blocked bool) (*Simulator, *System) {
+		sys := feSystem(t, 6, 120)
+		cfg := DefaultConfig()
+		cfg.Strategy = k
+		cfg.Threads = 3
+		cfg.Dim = core.Dim2
+		cfg.BlockReorder = blocked
+		sim, err := NewSimulator(sys, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sim.Step(20); err != nil {
+			t.Fatal(err)
+		}
+		return sim, sys
+	}
+	for _, k := range []strategy.Kind{strategy.SDC, strategy.Tasked} {
+		ref, refSys := run(k, false)
+		blk, blkSys := run(k, true)
+		if !blk.Decomposition().Contiguous() {
+			t.Errorf("%v: block-reordered decomposition not contiguous", k)
+		}
+		if ref.Decomposition().Contiguous() {
+			t.Errorf("%v: scattered baseline unexpectedly contiguous (test is vacuous)", k)
+		}
+		if dE := math.Abs(blk.TotalEnergy() - ref.TotalEnergy()); dE > 1e-7 {
+			t.Errorf("%v: total energy differs by %g eV under reorder", k, dE)
+		}
+		if p := blkSys.Momentum(); p.Norm() > 1e-8 {
+			t.Errorf("%v: momentum not conserved under reorder: %v", k, p)
+		}
+		// Position multiset: every reference atom must have a (unique
+		// lattice site) counterpart in the reordered run.
+		for i := range refSys.Pos {
+			best := math.Inf(1)
+			for j := range blkSys.Pos {
+				if d := refSys.Box.MinImage(refSys.Pos[i], blkSys.Pos[j]).Norm(); d < best {
+					best = d
+				}
+			}
+			if best > 1e-7 {
+				t.Fatalf("%v: reference atom %d has no counterpart within %g Å", k, i, best)
+			}
+		}
+		ref.Close()
+		blk.Close()
+	}
+}
+
+func TestBlockReorderValidation(t *testing.T) {
+	sys := feSystem(t, 4, 100)
+	cfg := DefaultConfig()
+	cfg.BlockReorder = true // serial strategy: no decomposition
+	if _, err := NewSimulator(sys, cfg); err == nil {
+		t.Error("BlockReorder with serial strategy accepted")
+	}
+	cfg.Strategy = strategy.SAP
+	cfg.Threads = 2
+	if _, err := NewSimulator(sys, cfg); err == nil {
+		t.Error("BlockReorder with SAP strategy accepted")
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"sdcmd/internal/force"
 	"sdcmd/internal/neighbor"
 	"sdcmd/internal/potential"
+	"sdcmd/internal/reorder"
 	"sdcmd/internal/strategy"
 	"sdcmd/internal/telemetry"
 	"sdcmd/internal/vec"
@@ -32,6 +33,14 @@ type Config struct {
 	// Skin is the Verlet skin (>= 0); lists rebuild automatically when
 	// any atom has moved more than Skin/2 since the last build.
 	Skin float64
+	// BlockReorder, when true, permutes the atoms into decomposition
+	// block order at every neighbor-list rebuild, making each
+	// subdomain's atoms contiguous in memory — the §II.D cache-blocking
+	// reorder that enables the dense cell-block sweeps of the SDC and
+	// tasked strategies. It renumbers atoms (trajectory output order
+	// changes) so it is opt-in, requires a decomposition strategy (SDC
+	// or Tasked), and currently excludes alloy systems.
+	BlockReorder bool
 	// Dt is the timestep in ps.
 	Dt float64
 	// Thermostat, when non-nil, is applied after every step.
@@ -84,6 +93,14 @@ func (c *Config) Validate() error {
 	}
 	if c.Threads < 1 {
 		return fmt.Errorf("md: threads %d must be >= 1", c.Threads)
+	}
+	if c.BlockReorder {
+		if c.Strategy != strategy.SDC && c.Strategy != strategy.Tasked {
+			return fmt.Errorf("md: BlockReorder requires a decomposition strategy (sdc or tasked), got %v", c.Strategy)
+		}
+		if c.Alloy != nil {
+			return errors.New("md: BlockReorder does not support alloy systems (species arrays are not permuted)")
+		}
 	}
 	if c.Thermostat != nil {
 		if err := c.Thermostat.Validate(); err != nil {
@@ -282,16 +299,12 @@ func NewSimulator(sys *System, cfg Config) (*Simulator, error) {
 }
 
 // rebuild reconstructs the neighbor list, decomposition and reducer
-// from the current positions.
+// from the current positions. The decomposition (and the optional block
+// reorder, which permutes positions) comes first so the neighbor list
+// is built from the final atom numbering.
 func (s *Simulator) rebuild() error {
-	list, err := neighbor.Builder{Cutoff: s.eng.Cutoff(), Skin: s.cfg.Skin, Half: true}.
-		Build(s.Sys.Box, s.Sys.Pos)
-	if err != nil {
-		return err
-	}
-	s.list = list
 	reach := s.eng.Cutoff() + s.cfg.Skin
-	if s.cfg.Strategy == strategy.SDC {
+	if s.cfg.Strategy == strategy.SDC || s.cfg.Strategy == strategy.Tasked {
 		if s.dec == nil || s.dec.Box != s.Sys.Box {
 			dec, err := core.Decompose(s.Sys.Box, s.Sys.Pos, s.cfg.Dim, reach)
 			if err != nil {
@@ -301,7 +314,18 @@ func (s *Simulator) rebuild() error {
 		} else {
 			s.dec.Rebin(s.Sys.Pos)
 		}
+		if s.cfg.BlockReorder {
+			if err := s.blockReorder(); err != nil {
+				return err
+			}
+		}
 	}
+	list, err := neighbor.Builder{Cutoff: s.eng.Cutoff(), Skin: s.cfg.Skin, Half: true}.
+		Build(s.Sys.Box, s.Sys.Pos)
+	if err != nil {
+		return err
+	}
+	s.list = list
 	s.red, err = strategy.New(strategy.Config{
 		Kind: s.cfg.Strategy, List: s.list, Pool: s.pool, Decomp: s.dec,
 		Telemetry: s.cfg.Telemetry,
@@ -315,6 +339,23 @@ func (s *Simulator) rebuild() error {
 	copy(s.posAtBuild, s.Sys.Pos)
 	s.rebuilds++
 	s.cfg.Telemetry.IncRebuild()
+	return nil
+}
+
+// blockReorder permutes the system into the decomposition's block
+// order (PartIndex is exactly the NewToOld mapping of cell-major
+// order) and rebins, after which PartIndex is the identity and
+// Decomposition.Contiguous() holds — the SDC/tasked sweeps then stream
+// each subdomain as one dense index range.
+func (s *Simulator) blockReorder() error {
+	perm, err := reorder.FromNewToOld(s.dec.PartIndex)
+	if err != nil {
+		return fmt.Errorf("md: block reorder: %w", err)
+	}
+	if err := s.Sys.Permute(perm); err != nil {
+		return err
+	}
+	s.dec.Rebin(s.Sys.Pos)
 	return nil
 }
 
@@ -480,8 +521,8 @@ func (s *Simulator) ResetForceTime() { s.forceTime = 0 }
 // List exposes the current neighbor list (read-only use).
 func (s *Simulator) List() *neighbor.List { return s.list }
 
-// Decomposition exposes the SDC decomposition (nil for other
-// strategies).
+// Decomposition exposes the spatial decomposition of the SDC and
+// tasked strategies (nil for the others).
 func (s *Simulator) Decomposition() *core.Decomposition { return s.dec }
 
 // Reducer exposes the active reducer.

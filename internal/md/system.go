@@ -7,6 +7,7 @@ import (
 
 	"sdcmd/internal/box"
 	"sdcmd/internal/lattice"
+	"sdcmd/internal/reorder"
 	"sdcmd/internal/vec"
 )
 
@@ -169,6 +170,24 @@ func (s *System) Temperature() float64 {
 func (s *System) ApplyStrain(eps vec.Vec3) {
 	s.Box.ApplyStrain(s.Pos, eps)
 	s.Box = s.Box.Strained(eps)
+}
+
+// Permute renumbers the atoms in place: new index n holds the atom
+// previously called p.NewToOld[n]. Positions, velocities, forces and
+// per-atom masses move together, so the physical state is unchanged up
+// to relabeling. The block-reorder locality pass (Config.BlockReorder)
+// uses this to make each subdomain's atoms contiguous in memory.
+func (s *System) Permute(p reorder.Permutation) error {
+	if p.N() != s.N() {
+		return fmt.Errorf("md: permutation over %d atoms applied to %d", p.N(), s.N())
+	}
+	s.Pos = p.ApplyVec3(s.Pos)
+	s.Vel = p.ApplyVec3(s.Vel)
+	s.Force = p.ApplyVec3(s.Force)
+	if s.Masses != nil {
+		s.Masses = p.ApplyFloat64(s.Masses)
+	}
+	return nil
 }
 
 // Clone deep-copies the system.

@@ -355,6 +355,99 @@ func TestSmallBoxFallsBackToBruteForce(t *testing.T) {
 	}
 }
 
+// TestToFullPairAccounting pins the symmetrization bookkeeping the RC
+// strategy's cost model rides on: ToFull stores every half pair in both
+// directions (the make([]int32, 2*l.Pairs()) sizing), Stats().Pairs
+// agrees with Pairs() on both list shapes, and the CSR Len rows sum to
+// the same total — so a reducer reporting PairWork() from either list
+// counts exactly the visits one sweep performs.
+func TestToFullPairAccounting(t *testing.T) {
+	bx := box.MustNew(vec.Zero, vec.Splat(12))
+	pos := randomPositions(250, bx, 11)
+	half, err := Builder{Cutoff: 2.5, Skin: 0.5, Half: true}.Build(bx, pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := half.ToFull()
+	if err := full.Validate(); err != nil {
+		t.Fatalf("symmetrized list invalid: %v", err)
+	}
+	if full.Half {
+		t.Error("ToFull result still marked half")
+	}
+	if full.Pairs() != 2*half.Pairs() {
+		t.Errorf("symmetrized pairs %d, want 2x%d", full.Pairs(), half.Pairs())
+	}
+	if full.Cutoff != half.Cutoff || full.Skin != half.Skin {
+		t.Errorf("ToFull dropped build parameters: %g/%g vs %g/%g",
+			full.Cutoff, full.Skin, half.Cutoff, half.Skin)
+	}
+	for name, l := range map[string]*List{"half": half, "full": full} {
+		st := l.Stats()
+		if st.Pairs != l.Pairs() {
+			t.Errorf("%s: Stats.Pairs %d != Pairs() %d", name, st.Pairs, l.Pairs())
+		}
+		if st.HalfList != l.Half {
+			t.Errorf("%s: Stats.HalfList %v != Half %v", name, st.HalfList, l.Half)
+		}
+		sum := 0
+		for _, n := range l.Len {
+			sum += int(n)
+		}
+		if sum != l.Pairs() {
+			t.Errorf("%s: Len rows sum to %d, Pairs() says %d", name, sum, l.Pairs())
+		}
+	}
+	// Both shapes describe the same physical pair set.
+	hs, fs := half.PairSet(), full.PairSet()
+	if len(hs) != len(fs) {
+		t.Fatalf("pair sets differ: half %d, full %d", len(hs), len(fs))
+	}
+	for p := range hs {
+		if _, ok := fs[p]; !ok {
+			t.Fatalf("pair %v missing from symmetrized list", p)
+		}
+	}
+}
+
+// TestToFullDeepCopy: both ToFull branches (symmetrize a half list,
+// clone an already-full list) must return storage independent of the
+// receiver — a shared backing array would let one consumer's mutation
+// corrupt another's traversal.
+func TestToFullDeepCopy(t *testing.T) {
+	bx := box.MustNew(vec.Zero, vec.Splat(12))
+	pos := randomPositions(120, bx, 13)
+	for _, halfIn := range []bool{true, false} {
+		src, err := Builder{Cutoff: 2.5, Half: halfIn}.Build(bx, pos)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantIndex := append([]int32(nil), src.Index...)
+		wantLen := append([]int32(nil), src.Len...)
+		wantNeigh := append([]int32(nil), src.Neigh...)
+		cp := src.ToFull()
+		for i := range cp.Index {
+			cp.Index[i] = -7
+		}
+		for i := range cp.Len {
+			cp.Len[i] = -7
+		}
+		for i := range cp.Neigh {
+			cp.Neigh[i] = -7
+		}
+		for i := range src.Index {
+			if src.Index[i] != wantIndex[i] || src.Len[i] != wantLen[i] {
+				t.Fatalf("half=%v: mutating the copy changed the source CSR arrays", halfIn)
+			}
+		}
+		for i := range src.Neigh {
+			if src.Neigh[i] != wantNeigh[i] {
+				t.Fatalf("half=%v: mutating the copy changed the source Neigh", halfIn)
+			}
+		}
+	}
+}
+
 func TestStatsEmpty(t *testing.T) {
 	l := &List{}
 	st := l.Stats()

@@ -95,9 +95,19 @@ func SpatialOrder(grid *neighbor.CellGrid) Permutation {
 
 // Scramble returns a uniformly random permutation; the experiment
 // harness uses it to construct the *de*-optimized baseline the paper's
-// §II.D improvement is measured against.
+// §II.D improvement is measured against. It is a convenience wrapper
+// over ScrambleRand with a locally seeded source, so two calls with the
+// same seed produce bit-identical permutations regardless of any other
+// randomness in the process.
 func Scramble(n int, seed int64) Permutation {
-	rng := rand.New(rand.NewSource(seed))
+	return ScrambleRand(n, rand.New(rand.NewSource(seed)))
+}
+
+// ScrambleRand returns a uniformly random permutation drawn from an
+// explicit source. Callers that scramble several arrays in one
+// experiment thread one *rand.Rand through all of them, keeping the
+// whole experiment a pure function of one seed.
+func ScrambleRand(n int, rng *rand.Rand) Permutation {
 	newToOld := make([]int32, n)
 	for i := range newToOld {
 		newToOld[i] = int32(i)
@@ -216,4 +226,37 @@ func LocalityScore(l *neighbor.List) float64 {
 		}
 	}
 	return sum / float64(l.Pairs())
+}
+
+// SampledLocalityScore estimates LocalityScore from a uniform sample of
+// `samples` atoms drawn from an explicit source, for lists too large to
+// scan in full inside a measurement loop. The rng is a parameter, not
+// package state: a fixed seed gives a bit-identical estimate on every
+// run, so perf baselines that record the score stay diffable. samples
+// >= l.N() degrades to the exact full scan (and draws nothing).
+func SampledLocalityScore(l *neighbor.List, samples int, rng *rand.Rand) float64 {
+	n := l.N()
+	if samples >= n {
+		return LocalityScore(l)
+	}
+	if samples <= 0 || l.Pairs() == 0 {
+		return 0
+	}
+	var sum float64
+	var pairs int
+	for k := 0; k < samples; k++ {
+		i := rng.Intn(n)
+		for _, j := range l.Neighbors(i) {
+			d := int(j) - i
+			if d < 0 {
+				d = -d
+			}
+			sum += float64(d)
+			pairs++
+		}
+	}
+	if pairs == 0 {
+		return 0
+	}
+	return sum / float64(pairs)
 }

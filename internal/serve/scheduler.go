@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io/fs"
 	"log"
+	"math"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -113,6 +114,12 @@ type Scheduler struct {
 	counters Counters
 	draining bool
 	nextID   int
+	// recentDurs is a ring of the last durWindow job wall durations in
+	// seconds, feeding the Retry-After backpressure hint. durCount is
+	// the lifetime total recorded (the ring index is durCount mod
+	// durWindow).
+	recentDurs [durWindow]float64
+	durCount   int
 
 	wg sync.WaitGroup
 }
@@ -456,6 +463,11 @@ func (s *Scheduler) runJob(j *Job) {
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// Every executed job — done, failed or canceled — contributes its
+	// wall time to the Retry-After estimate: all of them occupied a
+	// shard for that long.
+	s.recentDurs[s.durCount%durWindow] = time.Since(started).Seconds()
+	s.durCount++
 	if live, ok := s.byHash[j.hash]; ok && live == j {
 		delete(s.byHash, j.hash)
 	}
@@ -657,6 +669,56 @@ func (s *Scheduler) QueueDepth() int {
 	return len(s.queue)
 }
 
+// durWindow is how many recent job durations feed the Retry-After
+// estimate; maxRetryAfter caps the hint so a burst of long jobs never
+// tells clients to go away for minutes.
+const (
+	durWindow     = 32
+	maxRetryAfter = 60
+)
+
+// retryAfterHint converts queue pressure into a Retry-After hint in
+// seconds: a rejected client is behind depth waiters plus itself, and
+// maxJobs shards drain that backlog in parallel, so the expected wait
+// is (depth+1)*mean/maxJobs. Clamped to [1, maxRetryAfter]; with no
+// duration history the hint degrades to the old fixed 1 second.
+func retryAfterHint(depth int, meanSeconds float64, maxJobs int) int {
+	if maxJobs < 1 {
+		maxJobs = 1
+	}
+	if meanSeconds <= 0 {
+		return 1
+	}
+	hint := int(math.Ceil(float64(depth+1) * meanSeconds / float64(maxJobs)))
+	if hint < 1 {
+		hint = 1
+	}
+	if hint > maxRetryAfter {
+		hint = maxRetryAfter
+	}
+	return hint
+}
+
+// RetryAfterSeconds is the backpressure hint for 429 responses, from
+// the current queue depth and the mean of the recent job durations.
+func (s *Scheduler) RetryAfterSeconds() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.durCount
+	if n > durWindow {
+		n = durWindow
+	}
+	var mean float64
+	if n > 0 {
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += s.recentDurs[i]
+		}
+		mean = sum / float64(n)
+	}
+	return retryAfterHint(len(s.queue), mean, s.opts.MaxJobs)
+}
+
 // Running returns how many jobs are currently executing.
 func (s *Scheduler) Running() int {
 	s.mu.Lock()
@@ -738,6 +800,9 @@ func mergeWorkers(a, b []telemetry.WorkerStat) []telemetry.WorkerStat {
 		acc.Worker = w.Worker
 		acc.BusySeconds += w.BusySeconds
 		acc.WaitSeconds += w.WaitSeconds
+		acc.Tasks += w.Tasks
+		acc.Steals += w.Steals
+		acc.Stolen += w.Stolen
 		byWorker[w.Worker] = acc
 	}
 	out := make([]telemetry.WorkerStat, 0, len(byWorker))

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -300,6 +301,8 @@ func TestQueueFullBackpressure(t *testing.T) {
 	}
 	if ra := resp.Header.Get("Retry-After"); ra == "" {
 		t.Error("429 without Retry-After header")
+	} else if n, err := strconv.Atoi(ra); err != nil || n < 1 {
+		t.Errorf("Retry-After %q is not a positive integer", ra)
 	}
 	if c := sched.Counters(); c.Rejected != 1 {
 		t.Errorf("rejected counter %d, want 1", c.Rejected)
@@ -308,6 +311,59 @@ func TestQueueFullBackpressure(t *testing.T) {
 		if _, err := http.DefaultClient.Do(mustReq(t, http.MethodDelete, base+"/jobs/"+id)); err != nil {
 			t.Fatal(err)
 		}
+	}
+}
+
+// TestRetryAfterScalesWithQueueDepth pins the backpressure-hint fix: a
+// previous revision hard-coded Retry-After: 1, so clients stuck behind
+// a deep queue of multi-second jobs burned retries. The hint must grow
+// with queue depth and mean job duration, clamp to at least 1 second,
+// and cap so it never tells clients to go away for minutes.
+func TestRetryAfterScalesWithQueueDepth(t *testing.T) {
+	if got := retryAfterHint(5, 0, 2); got != 1 {
+		t.Errorf("no duration history: hint %d, want the legacy 1", got)
+	}
+	shallow := retryAfterHint(1, 3.0, 2)
+	deep := retryAfterHint(10, 3.0, 2)
+	if deep <= shallow {
+		t.Errorf("deeper queue did not raise the hint: depth 1 -> %d, depth 10 -> %d", shallow, deep)
+	}
+	if got := retryAfterHint(2, 3.0, 1); got != 9 {
+		t.Errorf("hint(depth=2, mean=3s, shards=1) = %d, want ceil(3*3/1) = 9", got)
+	}
+	if got := retryAfterHint(2, 3.0, 3); got != 3 {
+		t.Errorf("more shards must shrink the wait: got %d, want 3", got)
+	}
+	if got := retryAfterHint(0, 0.01, 4); got != 1 {
+		t.Errorf("sub-second wait: hint %d, want clamp to 1", got)
+	}
+	if got := retryAfterHint(1_000_000, 100, 1); got != maxRetryAfter {
+		t.Errorf("pathological backlog: hint %d, want cap %d", got, maxRetryAfter)
+	}
+
+	// Scheduler-level: recorded durations feed the estimate.
+	sched, err := NewScheduler(Options{MaxJobs: 1, Queue: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := sched.Drain(); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+	}()
+	if got := sched.RetryAfterSeconds(); got != 1 {
+		t.Errorf("fresh scheduler hint %d, want 1", got)
+	}
+	sched.mu.Lock()
+	for i := 0; i < durWindow+5; i++ { // overfill: the ring must not double-count
+		sched.recentDurs[sched.durCount%durWindow] = 8.0
+		sched.durCount++
+	}
+	sched.mu.Unlock()
+	// Empty queue, mean 8 s, 1 shard: the next slot frees in one mean
+	// job time.
+	if got := sched.RetryAfterSeconds(); got != 8 {
+		t.Errorf("hint with mean 8s and empty queue = %d, want 8", got)
 	}
 }
 
@@ -475,12 +531,12 @@ func TestMergeMetrics(t *testing.T) {
 	a := telemetry.Metrics{
 		Density: telemetry.PhaseStat{Seconds: 1, Calls: 2},
 		Colors:  []telemetry.ColorStat{{Color: 0, Seconds: 1, Sweeps: 1}},
-		Workers: []telemetry.WorkerStat{{Worker: 0, BusySeconds: 3, WaitSeconds: 1}},
+		Workers: []telemetry.WorkerStat{{Worker: 0, BusySeconds: 3, WaitSeconds: 1, Tasks: 10, Steals: 2, Stolen: 3}},
 	}
 	b := telemetry.Metrics{
 		Density:  telemetry.PhaseStat{Seconds: 2, Calls: 3},
 		Colors:   []telemetry.ColorStat{{Color: 0, Seconds: 2, Sweeps: 1}, {Color: 1, Seconds: 5, Sweeps: 2}},
-		Workers:  []telemetry.WorkerStat{{Worker: 0, BusySeconds: 1, WaitSeconds: 3}},
+		Workers:  []telemetry.WorkerStat{{Worker: 0, BusySeconds: 1, WaitSeconds: 3, Tasks: 5, Steals: 1, Stolen: 2}},
 		Rebuilds: 4,
 	}
 	m := mergeMetrics(a, b)
@@ -492,6 +548,9 @@ func TestMergeMetrics(t *testing.T) {
 	}
 	if len(m.Workers) != 1 || m.Workers[0].BusySeconds != 4 || m.Workers[0].Utilization != 0.5 {
 		t.Errorf("merged workers: %+v", m.Workers)
+	}
+	if w := m.Workers[0]; w.Tasks != 15 || w.Steals != 3 || w.Stolen != 5 {
+		t.Errorf("merged task counters: %+v", w)
 	}
 }
 

@@ -39,9 +39,6 @@ type Server struct {
 	done chan struct{}
 }
 
-// retryAfterSeconds is the backpressure hint on 429 responses.
-const retryAfterSeconds = 1
-
 // NewMux builds the service routing for sched.
 func NewMux(sched *Scheduler) *http.ServeMux {
 	mux := http.NewServeMux()
@@ -111,7 +108,10 @@ func handleSubmit(sched *Scheduler, w http.ResponseWriter, r *http.Request) {
 	case SubmitInvalid:
 		writeError(w, http.StatusBadRequest, err.Error())
 	case SubmitQueueFull:
-		w.Header().Set("Retry-After", fmt.Sprintf("%d", retryAfterSeconds))
+		// The hint scales with queue depth and recent job durations
+		// (scheduler.RetryAfterSeconds), not a fixed constant: a client
+		// told "1" behind ten multi-second jobs just burns retries.
+		w.Header().Set("Retry-After", strconv.Itoa(sched.RetryAfterSeconds()))
 		writeError(w, http.StatusTooManyRequests, err.Error())
 	case SubmitDraining:
 		writeError(w, http.StatusServiceUnavailable, err.Error())

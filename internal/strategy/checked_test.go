@@ -141,6 +141,7 @@ func TestCheckedReducerCleanStrategies(t *testing.T) {
 		AtomicCS: WriteSyncedPair,
 		SAP:      WritePrivatePair,
 		RC:       WriteOwnerOnly,
+		Tasked:   WriteDepOrderedPair,
 	}
 	for _, k := range Kinds {
 		k := k

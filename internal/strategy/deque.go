@@ -1,0 +1,104 @@
+package strategy
+
+import (
+	//lint:ignore cs-only-atomics the work-stealing deque is scheduler infrastructure (like the pool's dynamic counter), not a reduction strategy
+	"sync/atomic"
+)
+
+// taskQueue is a bounded single-producer multi-consumer ring of task
+// ids. One worker owns the queue and is the only pusher; any worker
+// (including the owner) may take from the head. It deliberately differs
+// from the classic Chase-Lev deque: Chase-Lev's owner-side pop from the
+// bottom cannot be combined soundly with multi-item steal-half from the
+// top, so here *every* dequeue — owner pop and thief steal alike — goes
+// through the same head CAS. The protocol:
+//
+//   - head and tail are monotonically increasing int64 counters (never
+//     wrapped into the ring), so a CAS on head can never ABA.
+//   - push: the owner stores the value into buf[tail%cap], then
+//     publishes it by incrementing tail. The queue is sized so that a
+//     push never overtakes an unclaimed head (capacity >= total tasks);
+//     push still reports failure defensively.
+//   - take(k): any worker reads head h and tail t, copies the k =
+//     min(k, t-h) entries at [h, h+k) into its private buffer, then
+//     CASes head h -> h+k. Success proves head was h for the whole
+//     read — the copied slots were published and unclaimed, so the
+//     values are valid. On failure the copies are discarded and the
+//     take retries. A doomed take may read slots the owner is
+//     concurrently rewriting, which is why the entries themselves are
+//     atomic.Int32: the values read are discarded, but the accesses
+//     must stay data-race-free under the race detector.
+//
+// All operations are lock-free; the owner's push is wait-free.
+type taskQueue struct {
+	head atomic.Int64
+	tail atomic.Int64
+	buf  []atomic.Int32
+	mask int64
+}
+
+// newTaskQueue returns a queue holding at least capacity entries
+// (rounded up to a power of two, minimum 2).
+func newTaskQueue(capacity int) *taskQueue {
+	n := int64(2)
+	for n < int64(capacity) {
+		n <<= 1
+	}
+	return &taskQueue{buf: make([]atomic.Int32, n), mask: n - 1}
+}
+
+// reset empties the queue. Only safe with no concurrent operations
+// (between sweeps, under the pool barrier).
+func (q *taskQueue) reset() {
+	q.head.Store(0)
+	q.tail.Store(0)
+}
+
+// push appends v. Only the owning worker may call it. It reports false
+// when the ring is full — callers sized the queue so this cannot
+// happen, but they fall back to executing v inline rather than
+// corrupting the ring.
+func (q *taskQueue) push(v int32) bool {
+	t := q.tail.Load()
+	if t-q.head.Load() >= int64(len(q.buf)) {
+		return false
+	}
+	q.buf[t&q.mask].Store(v)
+	q.tail.Store(t + 1)
+	return true
+}
+
+// size returns a snapshot of the entry count (racy, advisory only).
+func (q *taskQueue) size() int64 {
+	return q.tail.Load() - q.head.Load()
+}
+
+// take claims up to max entries from the head into dst and returns how
+// many were claimed. With half set, it claims ceil(size/2) — the
+// steal-half policy — otherwise a single entry (the owner's pop).
+func (q *taskQueue) take(dst []int32, max int, half bool) int {
+	for {
+		h := q.head.Load()
+		t := q.tail.Load()
+		n := t - h
+		if n <= 0 {
+			return 0
+		}
+		k := int64(1)
+		if half {
+			k = (n + 1) / 2
+		}
+		if k > int64(max) {
+			k = int64(max)
+		}
+		if k > int64(len(dst)) {
+			k = int64(len(dst))
+		}
+		for x := int64(0); x < k; x++ {
+			dst[x] = q.buf[(h+x)&q.mask].Load()
+		}
+		if q.head.CompareAndSwap(h, h+k) {
+			return int(k)
+		}
+	}
+}

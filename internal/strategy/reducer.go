@@ -32,6 +32,12 @@ const (
 	// RC recomputes each pair twice on a full list so threads write
 	// only their own atoms.
 	RC
+	// Tasked schedules the SDC subdomains as dependency-tracked cell
+	// tasks over work-stealing deques instead of the rigid color-barrier
+	// loop: a subdomain runs as soon as every adjacent lower-color
+	// subdomain has finished, so idle workers steal ready tasks rather
+	// than wait at 2^dim barriers per sweep (Meyer, arXiv:1305.4196).
+	Tasked
 )
 
 var kindNames = map[Kind]string{
@@ -41,6 +47,7 @@ var kindNames = map[Kind]string{
 	AtomicCS: "atomic",
 	SAP:      "sap",
 	RC:       "rc",
+	Tasked:   "tasked",
 }
 
 // String returns the short lowercase name used by CLIs.
@@ -59,11 +66,11 @@ func ParseKind(s string) (Kind, error) {
 			return k, nil
 		}
 	}
-	return 0, fmt.Errorf("strategy: unknown kind %q (want one of serial, sdc, cs, atomic, sap, rc)", s)
+	return 0, fmt.Errorf("strategy: unknown kind %q (want one of serial, sdc, cs, atomic, sap, rc, tasked)", s)
 }
 
 // Kinds lists all strategies in presentation order.
-var Kinds = []Kind{Serial, SDC, CS, AtomicCS, SAP, RC}
+var Kinds = []Kind{Serial, SDC, CS, AtomicCS, SAP, RC, Tasked}
 
 // ScalarVisit computes the pair contribution of (i, j) to a per-atom
 // scalar array: ci is added to out[i] and cj to out[j]. It must be a
@@ -109,7 +116,8 @@ type Config struct {
 	List *neighbor.List
 	// Pool supplies workers; nil is allowed for Serial only.
 	Pool *Pool
-	// Decomp is the SDC decomposition; required for Kind SDC.
+	// Decomp is the SDC decomposition; required for Kinds SDC and
+	// Tasked.
 	Decomp *core.Decomposition
 	// Telemetry, when non-nil, receives per-color sweep times from the
 	// SDC reducer (worker-level accumulation is attached to the Pool
@@ -134,18 +142,15 @@ func New(cfg Config) (Reducer, error) {
 	case Serial:
 		return &serialReducer{list: cfg.List}, nil
 	case SDC:
-		if cfg.Decomp == nil {
-			return nil, fmt.Errorf("strategy: SDC requires a decomposition")
-		}
-		if cfg.Decomp.Reach < cfg.List.Cutoff+cfg.List.Skin-1e-12 {
-			return nil, fmt.Errorf("strategy: decomposition reach %g < list reach %g — coloring unsafe",
-				cfg.Decomp.Reach, cfg.List.Cutoff+cfg.List.Skin)
-		}
-		if len(cfg.Decomp.PartIndex) != cfg.List.N() {
-			return nil, fmt.Errorf("strategy: decomposition covers %d atoms, list %d",
-				len(cfg.Decomp.PartIndex), cfg.List.N())
+		if err := validateDecomp(cfg, "SDC"); err != nil {
+			return nil, err
 		}
 		return &sdcReducer{list: cfg.List, pool: cfg.Pool, dec: cfg.Decomp, tel: cfg.Telemetry}, nil
+	case Tasked:
+		if err := validateDecomp(cfg, "Tasked"); err != nil {
+			return nil, err
+		}
+		return newTaskedReducer(cfg.List, cfg.Pool, cfg.Decomp, cfg.Telemetry), nil
 	case CS:
 		return &csReducer{list: cfg.List, pool: cfg.Pool}, nil
 	case AtomicCS:
@@ -157,4 +162,22 @@ func New(cfg Config) (Reducer, error) {
 	default:
 		return nil, fmt.Errorf("strategy: unknown kind %v", cfg.Kind)
 	}
+}
+
+// validateDecomp checks the decomposition requirements shared by the
+// SDC and Tasked strategies: both rely on the coloring's safety radius
+// and on the partition covering exactly the list's atoms.
+func validateDecomp(cfg Config, name string) error {
+	if cfg.Decomp == nil {
+		return fmt.Errorf("strategy: %s requires a decomposition", name)
+	}
+	if cfg.Decomp.Reach < cfg.List.Cutoff+cfg.List.Skin-1e-12 {
+		return fmt.Errorf("strategy: decomposition reach %g < list reach %g — coloring unsafe",
+			cfg.Decomp.Reach, cfg.List.Cutoff+cfg.List.Skin)
+	}
+	if len(cfg.Decomp.PartIndex) != cfg.List.N() {
+		return fmt.Errorf("strategy: decomposition covers %d atoms, list %d",
+			len(cfg.Decomp.PartIndex), cfg.List.N())
+	}
+	return nil
 }

@@ -132,7 +132,7 @@ func TestAllStrategiesMatchSerial(t *testing.T) {
 	wantVector := make([]vec.Vec3, n)
 	ref.SweepVector(wantVector, vc)
 
-	for _, k := range []Kind{SDC, CS, AtomicCS, SAP, RC} {
+	for _, k := range []Kind{SDC, CS, AtomicCS, SAP, RC, Tasked} {
 		for _, threads := range []int{1, 2, 3, 4, 7} {
 			r, pool := buildReducer(t, s, k, threads)
 			gotScalar := make([]float64, n)
@@ -224,7 +224,7 @@ func TestPairWorkAccounting(t *testing.T) {
 	s := newTestSystem(t, 6, 4.0)
 	pool := MustNewPool(2)
 	defer pool.Close()
-	for _, k := range []Kind{Serial, SDC, CS, AtomicCS, SAP} {
+	for _, k := range []Kind{Serial, SDC, CS, AtomicCS, SAP, Tasked} {
 		r, err := New(Config{Kind: k, List: s.list, Pool: pool, Decomp: s.dec})
 		if err != nil {
 			t.Fatal(err)
@@ -239,6 +239,16 @@ func TestPairWorkAccounting(t *testing.T) {
 	}
 	if r.PairWork() != 2*s.list.Pairs() {
 		t.Errorf("RC PairWork = %d, want %d (doubled)", r.PairWork(), 2*s.list.Pairs())
+	}
+	// RC's doubled count is exactly the symmetrized list's entry count —
+	// the same number neighbor.Stats reports for it.
+	if full := s.list.ToFull(); r.PairWork() != full.Stats().Pairs {
+		t.Errorf("RC PairWork %d != symmetrized Stats.Pairs %d", r.PairWork(), full.Stats().Pairs)
+	}
+	// The checked wrapper must report the inner reducer's work, not its
+	// own bookkeeping.
+	if chk := NewCheckedReducer(r); chk.PairWork() != r.PairWork() {
+		t.Errorf("CheckedReducer PairWork %d != inner %d", chk.PairWork(), r.PairWork())
 	}
 }
 
@@ -313,7 +323,7 @@ func TestThreadsReporting(t *testing.T) {
 	if r.Threads() != 1 || r.Kind() != Serial {
 		t.Error("serial reducer misreports")
 	}
-	for _, k := range []Kind{SDC, CS, AtomicCS, SAP, RC} {
+	for _, k := range []Kind{SDC, CS, AtomicCS, SAP, RC, Tasked} {
 		r, pool := buildReducer(t, s, k, 5)
 		if r.Threads() != 5 {
 			t.Errorf("%v Threads = %d", k, r.Threads())
@@ -461,7 +471,7 @@ func TestStressConcurrentSweeps(t *testing.T) {
 
 	pool := MustNewPool(6)
 	defer pool.Close()
-	for _, k := range []Kind{SDC, CS, AtomicCS, SAP, RC} {
+	for _, k := range []Kind{SDC, CS, AtomicCS, SAP, RC, Tasked} {
 		r, err := New(Config{Kind: k, List: list, Pool: pool, Decomp: dec})
 		if err != nil {
 			t.Fatal(err)

@@ -1,0 +1,397 @@
+package strategy
+
+import (
+	"runtime"
+	//lint:ignore cs-only-atomics the task scheduler's readiness/claim protocol is scheduler infrastructure (indegrees, in-flight flags, completion counter), not a reduction strategy
+	"sync/atomic"
+
+	"sdcmd/internal/core"
+	"sdcmd/internal/neighbor"
+	"sdcmd/internal/telemetry"
+	"sdcmd/internal/vec"
+)
+
+// taskedReducer replaces SDC's rigid color-barrier loop with a
+// dependency-tracked task schedule over the same colored subdomains
+// (Meyer, arXiv:1305.4196 / arXiv:1611.00075). Each subdomain is one
+// cell task; the readiness DAG has an edge a→b for every adjacent pair
+// with ColorOf[a] < ColorOf[b], so a task runs as soon as all adjacent
+// lower-color subdomains have finished — idle workers steal ready tasks
+// instead of waiting at 2^dim barriers per sweep. One pool region per
+// sweep is the only fork/join; everything inside is lock-free.
+//
+// Why this is exactly as safe as barrier SDC, and bit-identical to it:
+//
+//  1. Two subdomains whose write sets intersect are adjacent — a
+//     subdomain writes only its own atoms and their neighbors, which
+//     reach at most `reach` past its boundary, and subdomain edges are
+//     >= 2·reach.
+//  2. Adjacent subdomains always have different colors (the parity
+//     coloring, enforced by Decomposition.Verify), so the DAG has a
+//     direct edge between every conflicting pair: their executions
+//     never overlap and always run in color order.
+//  3. Therefore every reduction slot receives its contributions in
+//     ascending color order with the paper's per-subdomain loop order
+//     inside each color — the same floating-point addition sequence as
+//     the barrier schedule. Tests assert Float64bits equality vs SDC.
+//
+// Scheduling: each worker owns a taskQueue. Roots (indegree 0) are
+// dealt round-robin before the region starts. A worker pops from its
+// own queue; when empty it scans the other queues round-robin starting
+// at tid+1 and steals half of the first non-empty victim, executing one
+// stolen task immediately and re-queueing the rest locally. Completing
+// a task decrements each higher-color adjacent subdomain's indegree;
+// whoever drops an indegree to zero enqueues that task. A global
+// completion counter ends the region. The scan order is deterministic
+// (no randomized victims) to keep the kernel free of rand/clock per the
+// determinism lint; the execution interleaving still varies, but by the
+// argument above the numerics do not.
+//
+// As a safety net the reducer carries an always-on overlap detector:
+// a task sets a per-subdomain in-flight flag, then checks the flags of
+// all adjacent subdomains before sweeping (both sides store before
+// loading, so of two overlapping adjacent tasks at least one observes
+// the other). Overlaps are recorded, exposed via TaskOverlaps, and
+// asserted empty by the harness; AuditTaskedSchedule is the static
+// counterpart.
+type taskedReducer struct {
+	list *neighbor.List
+	pool *Pool
+	dec  *core.Decomposition
+	tel  *telemetry.Recorder
+
+	ns  int
+	adj [][]int32 // all adjacent subdomains, ascending
+	// succ[s] lists the adjacent subdomains with a higher color than s
+	// (the DAG's out-edges); nprev[s] counts the lower-color ones (the
+	// static indegree).
+	succ  [][]int32
+	nprev []int32
+
+	// Per-sweep working state, preallocated once (kernel paths must not
+	// allocate) and reset serially before each region.
+	indegree  []atomic.Int32
+	inflight  []atomic.Int32 // 0 = idle, tid+1 = executing
+	completed atomic.Int64
+	queues    []*taskQueue
+	stealBuf  [][]int32 // per-worker claim scratch
+
+	// Per-worker counters for the current sweep; worker t writes slot t
+	// only, the region join orders the writes before the serial flush
+	// (same discipline as Pool.busyNS).
+	executed []int64
+	steals   []int64
+	stolen   []int64
+	// Lifetime totals, accumulated serially after each region.
+	totalExecuted, totalSteals, totalStolen int64
+
+	sweeps       int
+	overlapCount atomic.Int64
+	overlapLog   [maxOverlapLog]atomic.Int64 // packed sweep<<40|a<<20|b, +1 so 0 means empty
+}
+
+const maxOverlapLog = 16
+
+// TaskOverlap reports two adjacent subdomains observed in flight
+// simultaneously — a scheduler invariant violation that would void the
+// bit-identical-to-SDC guarantee.
+type TaskOverlap struct {
+	// Sweep counts sweeps since construction.
+	Sweep int
+	// A is the subdomain that detected the overlap, B the adjacent
+	// subdomain it found in flight.
+	A, B int32
+}
+
+func newTaskedReducer(list *neighbor.List, pool *Pool, dec *core.Decomposition, tel *telemetry.Recorder) *taskedReducer {
+	ns := dec.NumSubdomains()
+	adj := dec.AdjacencyLists()
+	succ := make([][]int32, ns)
+	nprev := make([]int32, ns)
+	for s := 0; s < ns; s++ {
+		for _, o := range adj[s] {
+			// Adjacent subdomains never share a color (Verify enforces
+			// it), so every adjacency contributes exactly one DAG edge.
+			if dec.ColorOf[o] > dec.ColorOf[s] {
+				succ[s] = append(succ[s], o)
+			} else {
+				nprev[s]++
+			}
+		}
+	}
+	threads := pool.Threads()
+	r := &taskedReducer{
+		list: list, pool: pool, dec: dec, tel: tel,
+		ns: ns, adj: adj, succ: succ, nprev: nprev,
+		indegree: make([]atomic.Int32, ns),
+		inflight: make([]atomic.Int32, ns),
+		queues:   make([]*taskQueue, threads),
+		stealBuf: make([][]int32, threads),
+		executed: make([]int64, threads),
+		steals:   make([]int64, threads),
+		stolen:   make([]int64, threads),
+	}
+	for t := 0; t < threads; t++ {
+		// Capacity ns per queue: a task sits in at most one queue at a
+		// time, so no queue can ever hold more than ns entries and push
+		// can never fail.
+		r.queues[t] = newTaskQueue(ns)
+		r.stealBuf[t] = make([]int32, ns)
+	}
+	return r
+}
+
+func (r *taskedReducer) Kind() Kind    { return Tasked }
+func (r *taskedReducer) Threads() int  { return r.pool.Threads() }
+func (r *taskedReducer) PairWork() int { return r.list.Pairs() }
+
+// WriteShape implements WriteShaper: writes are unsynchronized but the
+// dependency DAG totally orders conflicting tasks; the phase-based
+// dynamic checker cannot interpret that, so the reducer carries its own
+// overlap detector instead (TaskOverlaps).
+func (r *taskedReducer) WriteShape() WriteShape { return WriteDepOrderedPair }
+
+// Decomposition exposes the coloring for diagnostics.
+func (r *taskedReducer) Decomposition() *core.Decomposition { return r.dec }
+
+func (r *taskedReducer) SweepScalar(out []float64, visit ScalarVisit) {
+	if r.dec.Contiguous() {
+		// Block-reordered storage: subdomain s is the dense atom range
+		// [PStart[s], PStart[s+1]) — stream it directly.
+		r.runSweep(func(s int) {
+			for i := r.dec.PStart[s]; i < r.dec.PStart[s+1]; i++ {
+				for _, j := range r.list.Neighbors(int(i)) {
+					ci, cj := visit(i, j)
+					out[i] += ci
+					out[j] += cj
+				}
+			}
+		})
+		return
+	}
+	r.runSweep(func(s int) {
+		for _, i := range r.dec.Atoms(s) {
+			for _, j := range r.list.Neighbors(int(i)) {
+				ci, cj := visit(i, j)
+				out[i] += ci
+				out[j] += cj
+			}
+		}
+	})
+}
+
+func (r *taskedReducer) SweepVector(out []vec.Vec3, visit VectorVisit) {
+	if r.dec.Contiguous() {
+		r.runSweep(func(s int) {
+			for i := r.dec.PStart[s]; i < r.dec.PStart[s+1]; i++ {
+				for _, j := range r.list.Neighbors(int(i)) {
+					f := visit(i, j)
+					out[i][0] += f[0]
+					out[i][1] += f[1]
+					out[i][2] += f[2]
+					out[j][0] -= f[0]
+					out[j][1] -= f[1]
+					out[j][2] -= f[2]
+				}
+			}
+		})
+		return
+	}
+	r.runSweep(func(s int) {
+		for _, i := range r.dec.Atoms(s) {
+			for _, j := range r.list.Neighbors(int(i)) {
+				f := visit(i, j)
+				out[i][0] += f[0]
+				out[i][1] += f[1]
+				out[i][2] += f[2]
+				out[j][0] -= f[0]
+				out[j][1] -= f[1]
+				out[j][2] -= f[2]
+			}
+		}
+	})
+}
+
+func (r *taskedReducer) ParallelForAtoms(body func(start, end, tid int)) {
+	r.pool.ParallelFor(r.list.N(), body)
+}
+
+// runSweep resets the scheduler state, seeds the root tasks and runs
+// one pool region in which every worker drains/steals until all ns
+// tasks have completed.
+func (r *taskedReducer) runSweep(exec func(s int)) {
+	r.sweeps++
+	r.completed.Store(0)
+	for s := 0; s < r.ns; s++ {
+		r.indegree[s].Store(r.nprev[s])
+		r.inflight[s].Store(0)
+	}
+	threads := len(r.queues)
+	for t := 0; t < threads; t++ {
+		r.queues[t].reset()
+		r.executed[t] = 0
+		r.steals[t] = 0
+		r.stolen[t] = 0
+	}
+	// Deal the roots (color-0 subdomains) round-robin so every worker
+	// starts with local work; no concurrency yet, the region below
+	// orders these pushes before any take.
+	w := 0
+	for s := 0; s < r.ns; s++ {
+		if r.nprev[s] == 0 {
+			r.queues[w].push(int32(s))
+			w = (w + 1) % threads
+		}
+	}
+	r.pool.Run(func(tid int) { r.drain(tid, exec) })
+	for t := 0; t < threads; t++ {
+		r.totalExecuted += r.executed[t]
+		r.totalSteals += r.steals[t]
+		r.totalStolen += r.stolen[t]
+		r.tel.AddWorkerTasks(t, r.executed[t], r.steals[t], r.stolen[t])
+	}
+}
+
+// drain is one worker's scheduling loop: pop locally, steal half on
+// miss, spin (yielding) when nothing is ready anywhere.
+func (r *taskedReducer) drain(tid int, exec func(s int)) {
+	q := r.queues[tid]
+	buf := r.stealBuf[tid]
+	threads := len(r.queues)
+	total := int64(r.ns)
+	for r.completed.Load() < total {
+		if n := q.take(buf, 1, false); n == 1 {
+			r.execTask(int(buf[0]), tid, exec)
+			continue
+		}
+		found := false
+		for d := 1; d < threads; d++ {
+			v := (tid + d) % threads
+			k := r.queues[v].take(buf, r.ns, true)
+			if k == 0 {
+				continue
+			}
+			r.steals[tid]++
+			r.stolen[tid] += int64(k)
+			// Keep the first task, make the rest locally poppable.
+			for x := 1; x < k; x++ {
+				r.pushOrRun(tid, buf[x], exec)
+			}
+			r.execTask(int(buf[0]), tid, exec)
+			found = true
+			break
+		}
+		if !found {
+			// Nothing ready anywhere right now: predecessors are still
+			// in flight on other workers. The DAG is acyclic and every
+			// completion enqueues its newly-ready successors, so
+			// progress is guaranteed; yield instead of burning the CPU
+			// slot (essential when workers oversubscribe cores).
+			runtime.Gosched()
+		}
+	}
+}
+
+// execTask runs one subdomain sweep and releases its DAG successors.
+func (r *taskedReducer) execTask(s, tid int, exec func(s int)) {
+	r.inflight[s].Store(int32(tid) + 1)
+	// Overlap detector: both sides store their flag before loading the
+	// neighbors' (sequentially consistent atomics), so two overlapping
+	// adjacent tasks cannot both miss each other.
+	for _, o := range r.adj[s] {
+		if r.inflight[o].Load() != 0 {
+			r.noteOverlap(int32(s), o)
+		}
+	}
+	exec(s)
+	r.executed[tid]++
+	// Clear the flag before releasing successors: a successor may start
+	// on another worker the instant its indegree hits zero.
+	r.inflight[s].Store(0)
+	for _, o := range r.succ[s] {
+		if r.indegree[o].Add(-1) == 0 {
+			r.pushOrRun(tid, o, exec)
+		}
+	}
+	r.completed.Add(1)
+}
+
+// pushOrRun enqueues task s on tid's own queue. The queues are sized so
+// push cannot fail; if it ever did, executing inline keeps the schedule
+// correct (s is ready and this worker runs it to completion).
+func (r *taskedReducer) pushOrRun(tid int, s int32, exec func(s int)) {
+	if !r.queues[tid].push(s) {
+		r.execTask(int(s), tid, exec)
+	}
+}
+
+// noteOverlap records an in-flight overlap of adjacent subdomains.
+func (r *taskedReducer) noteOverlap(a, b int32) {
+	idx := r.overlapCount.Add(1) - 1
+	if idx < maxOverlapLog {
+		packed := (int64(r.sweeps)<<40 | int64(a)<<20 | int64(b)) + 1
+		r.overlapLog[idx].Store(packed)
+	}
+}
+
+// TaskOverlaps returns the overlaps observed so far (capped at
+// maxOverlapLog detailed records; the count is exact). A correct
+// schedule returns none; the harness asserts this.
+func (r *taskedReducer) TaskOverlaps() []TaskOverlap {
+	n := r.overlapCount.Load()
+	if n == 0 {
+		return nil
+	}
+	if n > maxOverlapLog {
+		n = maxOverlapLog
+	}
+	out := make([]TaskOverlap, 0, n)
+	for i := int64(0); i < n; i++ {
+		packed := r.overlapLog[i].Load()
+		if packed == 0 {
+			continue
+		}
+		packed--
+		out = append(out, TaskOverlap{
+			Sweep: int(packed >> 40),
+			A:     int32((packed >> 20) & 0xFFFFF),
+			B:     int32(packed & 0xFFFFF),
+		})
+	}
+	return out
+}
+
+// OverlapCount returns the exact number of overlaps detected.
+func (r *taskedReducer) OverlapCount() int64 { return r.overlapCount.Load() }
+
+// TaskStats returns lifetime totals: tasks executed, steal operations,
+// and tasks obtained by stealing.
+func (r *taskedReducer) TaskStats() (executed, steals, stolen int64) {
+	return r.totalExecuted, r.totalSteals, r.totalStolen
+}
+
+// TaskOverlapper is implemented by reducers that run their own dynamic
+// overlap detection (Tasked); verification harnesses assert the count
+// is zero. CheckedReducer forwards the interface to its wrapped
+// reducer.
+type TaskOverlapper interface {
+	TaskOverlaps() []TaskOverlap
+	OverlapCount() int64
+}
+
+// TaskOverlaps forwards to the wrapped reducer when it self-detects
+// overlaps, so verification code can wrap Tasked like any other kind.
+func (c *CheckedReducer) TaskOverlaps() []TaskOverlap {
+	if to, ok := c.inner.(TaskOverlapper); ok {
+		return to.TaskOverlaps()
+	}
+	return nil
+}
+
+// OverlapCount forwards like TaskOverlaps.
+func (c *CheckedReducer) OverlapCount() int64 {
+	if to, ok := c.inner.(TaskOverlapper); ok {
+		return to.OverlapCount()
+	}
+	return 0
+}

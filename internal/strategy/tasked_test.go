@@ -1,0 +1,467 @@
+package strategy
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"sdcmd/internal/core"
+	"sdcmd/internal/neighbor"
+	"sdcmd/internal/vec"
+)
+
+// TestTaskedBitIdenticalToSDC is the schedule-equivalence theorem as a
+// test: the dependency DAG orders every pair of conflicting tasks by
+// color, so each reduction slot receives its contributions in exactly
+// the barrier schedule's order — the sums must match SDC to the last
+// bit, not merely within tolerance, at every thread count.
+func TestTaskedBitIdenticalToSDC(t *testing.T) {
+	s := newTestSystem(t, 6, 4.0)
+	sc, vc := s.visits()
+	n := s.list.N()
+
+	sdcPool := MustNewPool(2)
+	defer sdcPool.Close()
+	sdc, err := New(Config{Kind: SDC, List: s.list, Pool: sdcPool, Decomp: s.dec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantS := make([]float64, n)
+	sdc.SweepScalar(wantS, sc)
+	wantV := make([]vec.Vec3, n)
+	sdc.SweepVector(wantV, vc)
+
+	for _, threads := range []int{1, 2, 3, 4, 7} {
+		pool := MustNewPool(threads)
+		r, err := New(Config{Kind: Tasked, List: s.list, Pool: pool, Decomp: s.dec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for rep := 0; rep < 3; rep++ {
+			gotS := make([]float64, n)
+			r.SweepScalar(gotS, sc)
+			gotV := make([]vec.Vec3, n)
+			r.SweepVector(gotV, vc)
+			for i := 0; i < n; i++ {
+				if math.Float64bits(gotS[i]) != math.Float64bits(wantS[i]) {
+					t.Fatalf("threads=%d rep=%d: scalar[%d] = %x, SDC %x — schedules not equivalent",
+						threads, rep, i, math.Float64bits(gotS[i]), math.Float64bits(wantS[i]))
+				}
+				for a := 0; a < 3; a++ {
+					if math.Float64bits(gotV[i][a]) != math.Float64bits(wantV[i][a]) {
+						t.Fatalf("threads=%d rep=%d: vector[%d][%d] differs from SDC bitwise",
+							threads, rep, i, a)
+					}
+				}
+			}
+		}
+		if ov := r.(*taskedReducer).OverlapCount(); ov != 0 {
+			t.Fatalf("threads=%d: %d task overlaps detected: %v",
+				threads, ov, r.(*taskedReducer).TaskOverlaps())
+		}
+		pool.Close()
+	}
+}
+
+// TestTaskedContiguousFastPath reorders the atoms into block-major
+// order (the cache-blocking pass) and checks that both the SDC and
+// Tasked contiguous sweeps still produce the serial answer on the
+// reordered system.
+func TestTaskedContiguousFastPath(t *testing.T) {
+	s := newTestSystem(t, 6, 4.0)
+	// Block-reorder: new slot k holds old atom PartIndex[k].
+	perm := append([]int32(nil), s.dec.PartIndex...)
+	pos := make([]vec.Vec3, len(s.pos))
+	for k, old := range perm {
+		pos[k] = s.pos[old]
+	}
+	list, err := neighbor.Builder{Cutoff: 3.5, Skin: 0.5, Half: true}.Build(s.bx, pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.dec.Rebin(pos)
+	if !s.dec.Contiguous() {
+		t.Fatal("block reorder did not produce a contiguous partition")
+	}
+	rs := &testSystem{bx: s.bx, pos: pos, list: list, dec: s.dec}
+	sc, vc := rs.visits()
+	n := list.N()
+
+	want := make([]float64, n)
+	(&serialReducer{list: list}).SweepScalar(want, sc)
+	wantV := make([]vec.Vec3, n)
+	(&serialReducer{list: list}).SweepVector(wantV, vc)
+
+	for _, k := range []Kind{SDC, Tasked} {
+		pool := MustNewPool(3)
+		r, err := New(Config{Kind: k, List: list, Pool: pool, Decomp: s.dec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]float64, n)
+		r.SweepScalar(got, sc)
+		gotV := make([]vec.Vec3, n)
+		r.SweepVector(gotV, vc)
+		pool.Close()
+		for i := 0; i < n; i++ {
+			if math.Abs(got[i]-want[i]) > 1e-10*(1+math.Abs(want[i])) {
+				t.Fatalf("%v contiguous scalar[%d] = %g, want %g", k, i, got[i], want[i])
+			}
+			if !gotV[i].ApproxEqual(wantV[i], 1e-10*(1+wantV[i].Norm())) {
+				t.Fatalf("%v contiguous vector[%d] = %v, want %v", k, i, gotV[i], wantV[i])
+			}
+		}
+	}
+}
+
+// TestTaskedCoversAllPairsOnce mirrors the SDC coverage test: every
+// stored pair is visited exactly once per sweep.
+func TestTaskedCoversAllPairsOnce(t *testing.T) {
+	s := newTestSystem(t, 6, 4.0)
+	pool := MustNewPool(3)
+	defer pool.Close()
+	r, err := New(Config{Kind: Tasked, List: s.list, Pool: pool, Decomp: s.dec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	visited := 0
+	count := func(i, j int32) (float64, float64) {
+		mu.Lock()
+		visited++
+		mu.Unlock()
+		return 0, 0
+	}
+	out := make([]float64, s.list.N())
+	r.SweepScalar(out, count)
+	if visited != s.list.Pairs() {
+		t.Errorf("Tasked visited %d pairs, want %d", visited, s.list.Pairs())
+	}
+}
+
+// TestTaskedStatsAccount checks the scheduler's accounting: across all
+// workers the executed-task count equals subdomains × sweeps, and the
+// stolen count never exceeds the executed count.
+func TestTaskedStatsAccount(t *testing.T) {
+	s := newTestSystem(t, 6, 4.0)
+	sc, _ := s.visits()
+	pool := MustNewPool(4)
+	defer pool.Close()
+	r, err := New(Config{Kind: Tasked, List: s.list, Pool: pool, Decomp: s.dec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := r.(*taskedReducer)
+	const sweeps = 5
+	out := make([]float64, s.list.N())
+	for k := 0; k < sweeps; k++ {
+		r.SweepScalar(out, sc)
+	}
+	executed, steals, stolen := tr.TaskStats()
+	wantExec := int64(s.dec.NumSubdomains()) * sweeps
+	if executed != wantExec {
+		t.Errorf("executed %d tasks, want %d", executed, wantExec)
+	}
+	if stolen > executed {
+		t.Errorf("stolen %d > executed %d", stolen, executed)
+	}
+	if stolen < steals {
+		t.Errorf("stolen %d < steal operations %d (each steal claims >= 1)", stolen, steals)
+	}
+}
+
+// TestTaskQueue unit-tests the SPMC ring: FIFO order through push/take,
+// steal-half split sizes, fullness reporting, and reset.
+func TestTaskQueue(t *testing.T) {
+	q := newTaskQueue(8)
+	buf := make([]int32, 16)
+	if n := q.take(buf, 4, true); n != 0 {
+		t.Fatalf("empty take returned %d", n)
+	}
+	for v := int32(0); v < 6; v++ {
+		if !q.push(v) {
+			t.Fatalf("push %d failed with room left", v)
+		}
+	}
+	if q.size() != 6 {
+		t.Fatalf("size %d, want 6", q.size())
+	}
+	// Pop takes exactly one, FIFO.
+	if n := q.take(buf, 1, false); n != 1 || buf[0] != 0 {
+		t.Fatalf("pop got n=%d v=%d", n, buf[0])
+	}
+	// Steal-half of 5 entries claims 3: values 1,2,3.
+	if n := q.take(buf, 16, true); n != 3 || buf[0] != 1 || buf[1] != 2 || buf[2] != 3 {
+		t.Fatalf("steal-half got n=%d vals=%v", n, buf[:3])
+	}
+	// max caps the claim.
+	if n := q.take(buf, 1, true); n != 1 || buf[0] != 4 {
+		t.Fatalf("capped steal got n=%d v=%d", n, buf[0])
+	}
+	// Fill to capacity (8): currently holds {5}, push 7 more.
+	for v := int32(10); v < 17; v++ {
+		if !q.push(v) {
+			t.Fatalf("push %d failed with room left", v)
+		}
+	}
+	if q.push(99) {
+		t.Fatal("push succeeded on a full ring")
+	}
+	q.reset()
+	if q.size() != 0 {
+		t.Fatal("reset did not empty the queue")
+	}
+	if n := q.take(buf, 8, true); n != 0 {
+		t.Fatal("take from reset queue returned entries")
+	}
+}
+
+// TestTaskQueueWrap exercises index wrap-around: monotonic head/tail
+// must keep addressing the ring correctly past multiple laps.
+func TestTaskQueueWrap(t *testing.T) {
+	q := newTaskQueue(4)
+	buf := make([]int32, 4)
+	next := int32(0)
+	for lap := 0; lap < 10; lap++ {
+		for k := 0; k < 3; k++ {
+			if !q.push(next) {
+				t.Fatalf("push failed at lap %d", lap)
+			}
+			next++
+		}
+		want := next - 3
+		for k := 0; k < 3; k++ {
+			if n := q.take(buf, 1, false); n != 1 || buf[0] != want {
+				t.Fatalf("lap %d: got n=%d v=%d, want v=%d", lap, n, buf[0], want)
+			}
+			want++
+		}
+	}
+}
+
+// TestTaskQueueConcurrentSteal hammers one owner pushing/popping
+// against several thieves stealing halves; every pushed value must be
+// consumed exactly once (run under -race in CI).
+func TestTaskQueueConcurrentSteal(t *testing.T) {
+	const total = 4096
+	q := newTaskQueue(total)
+	pool := MustNewPool(4)
+	defer pool.Close()
+	var mu sync.Mutex
+	seen := make(map[int32]int)
+	pool.Run(func(tid int) {
+		buf := make([]int32, total)
+		if tid == 0 {
+			// Owner: push everything, popping occasionally.
+			for v := int32(0); v < total; v++ {
+				for !q.push(v) {
+					if n := q.take(buf, 1, false); n == 1 {
+						mu.Lock()
+						seen[buf[0]]++
+						mu.Unlock()
+					}
+				}
+			}
+			for {
+				n := q.take(buf, 1, false)
+				if n == 0 {
+					return
+				}
+				mu.Lock()
+				seen[buf[0]]++
+				mu.Unlock()
+			}
+		}
+		// Thieves: steal halves until the owner has finished and the
+		// queue stays empty.
+		misses := 0
+		for misses < 1000 {
+			n := q.take(buf, total, true)
+			if n == 0 {
+				misses++
+				continue
+			}
+			misses = 0
+			mu.Lock()
+			for x := 0; x < n; x++ {
+				seen[buf[x]]++
+			}
+			mu.Unlock()
+		}
+	})
+	// Drain anything left after the thieves gave up.
+	buf := make([]int32, total)
+	for {
+		n := q.take(buf, total, true)
+		if n == 0 {
+			break
+		}
+		for x := 0; x < n; x++ {
+			seen[buf[x]]++
+		}
+	}
+	if len(seen) != total {
+		t.Fatalf("consumed %d distinct values, want %d", len(seen), total)
+	}
+	for v, c := range seen {
+		if c != 1 {
+			t.Fatalf("value %d consumed %d times", v, c)
+		}
+	}
+}
+
+// TestAuditTaskedScheduleClean proves the DAG covers every write-set
+// intersection on a legal decomposition.
+func TestAuditTaskedScheduleClean(t *testing.T) {
+	s := newTestSystem(t, 8, 4.0)
+	conflicts, err := AuditTaskedSchedule(s.dec, s.list)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(conflicts) != 0 {
+		t.Fatalf("%d conflicts on a legal decomposition, first %v", len(conflicts), conflicts[0])
+	}
+}
+
+// TestAuditTaskedScheduleDetectsCorruption corrupts the coloring so two
+// adjacent subdomains share a color; the audit must report the pair as
+// unorderable.
+func TestAuditTaskedScheduleDetectsCorruption(t *testing.T) {
+	s := newTestSystem(t, 8, 4.0)
+	dec := *s.dec
+	dec.ColorOf = append([]int8(nil), s.dec.ColorOf...)
+	// Give subdomain 0 the color of one of its neighbors.
+	adj := dec.AdjacencyLists()
+	dec.ColorOf[0] = dec.ColorOf[adj[0][0]]
+	conflicts, err := AuditTaskedSchedule(&dec, s.list)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, c := range conflicts {
+		if c.SameColor {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("same-color corruption not reported (got %d conflicts)", len(conflicts))
+	}
+}
+
+// TestAuditTaskedScheduleValidation checks the error paths.
+func TestAuditTaskedScheduleValidation(t *testing.T) {
+	s := newTestSystem(t, 6, 4.0)
+	if _, err := AuditTaskedSchedule(nil, s.list); err == nil {
+		t.Error("nil decomposition accepted")
+	}
+	if _, err := AuditTaskedSchedule(s.dec, nil); err == nil {
+		t.Error("nil list accepted")
+	}
+	if _, err := AuditTaskedSchedule(s.dec, s.list.ToFull()); err == nil {
+		t.Error("full list accepted")
+	}
+}
+
+// TestTaskedValidation mirrors the SDC construction requirements.
+func TestTaskedValidation(t *testing.T) {
+	s := newTestSystem(t, 6, 4.0)
+	pool := MustNewPool(2)
+	defer pool.Close()
+	if _, err := New(Config{Kind: Tasked, List: s.list, Pool: pool, Decomp: nil}); err == nil {
+		t.Error("Tasked without decomposition accepted")
+	}
+	if _, err := New(Config{Kind: Tasked, List: s.list, Pool: nil, Decomp: s.dec}); err == nil {
+		t.Error("Tasked without pool accepted")
+	}
+	badDec, err := core.Decompose(s.bx, s.pos, core.Dim2, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{Kind: Tasked, List: s.list, Pool: pool, Decomp: badDec}); err == nil {
+		t.Error("undersized decomposition reach accepted")
+	}
+}
+
+// TestTaskedDAGShape sanity-checks the readiness DAG: edge counts are
+// symmetric (each adjacency is exactly one edge), roots are exactly the
+// color-0 subdomains, and indegrees sum to the edge count.
+func TestTaskedDAGShape(t *testing.T) {
+	s := newTestSystem(t, 6, 4.0)
+	pool := MustNewPool(2)
+	defer pool.Close()
+	r, err := New(Config{Kind: Tasked, List: s.list, Pool: pool, Decomp: s.dec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := r.(*taskedReducer)
+	totalAdj, totalSucc, totalPrev := 0, 0, 0
+	roots := 0
+	for sdom := 0; sdom < tr.ns; sdom++ {
+		totalAdj += len(tr.adj[sdom])
+		totalSucc += len(tr.succ[sdom])
+		totalPrev += int(tr.nprev[sdom])
+		if tr.nprev[sdom] == 0 {
+			roots++
+			if s.dec.ColorOf[sdom] != 0 {
+				t.Errorf("root subdomain %d has color %d, want 0", sdom, s.dec.ColorOf[sdom])
+			}
+		}
+	}
+	if totalSucc != totalPrev {
+		t.Errorf("DAG out-degree sum %d != in-degree sum %d", totalSucc, totalPrev)
+	}
+	if totalSucc+totalPrev != totalAdj {
+		t.Errorf("edges %d+%d do not cover adjacency %d — some adjacent pair shares a color",
+			totalSucc, totalPrev, totalAdj)
+	}
+	if roots != len(s.dec.ByColor[0]) {
+		t.Errorf("%d roots, want %d (color-0 subdomains)", roots, len(s.dec.ByColor[0]))
+	}
+}
+
+// TestTaskedOverlapDetectorFires drives execTask directly on a reducer
+// whose DAG has been emptied, simulating a scheduler bug where two
+// adjacent tasks run concurrently; the Dekker-style detector must see
+// it from at least one side.
+func TestTaskedOverlapDetectorFires(t *testing.T) {
+	s := newTestSystem(t, 6, 4.0)
+	pool := MustNewPool(2)
+	defer pool.Close()
+	r, err := New(Config{Kind: Tasked, List: s.list, Pool: pool, Decomp: s.dec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := r.(*taskedReducer)
+	a := 0
+	b := int(tr.adj[a][0])
+	var wg sync.WaitGroup
+	// Rendezvous inside the task body: neither task can finish (and
+	// clear its in-flight flag) until both have started, so whichever
+	// task checks second is guaranteed to see the other in flight.
+	var inFlight sync.WaitGroup
+	inFlight.Add(2)
+	exec := func(int) { inFlight.Done(); inFlight.Wait() }
+	wg.Add(2)
+	for tid, sdom := range []int{a, b} {
+		tid, sdom := tid, sdom
+		go func() {
+			defer wg.Done()
+			tr.execTask(sdom, tid, exec)
+		}()
+	}
+	wg.Wait()
+	if tr.OverlapCount() == 0 {
+		t.Fatal("concurrent adjacent tasks not detected")
+	}
+	ovs := tr.TaskOverlaps()
+	if len(ovs) == 0 {
+		t.Fatal("overlap log empty despite count > 0")
+	}
+	pair := map[int32]bool{int32(a): true, int32(b): true}
+	for _, ov := range ovs {
+		if !pair[ov.A] || !pair[ov.B] {
+			t.Fatalf("overlap names wrong subdomains: %+v", ov)
+		}
+	}
+}
