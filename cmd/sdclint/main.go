@@ -8,6 +8,7 @@
 //
 //	sdclint -write-baseline lint.base ./...   # record current findings
 //	sdclint -baseline lint.base ./...         # fail only on NEW findings
+//	sdclint -fix ./...                        # remove stale ignore rules
 //
 // Findings print as file:line:col: rule: message. A finding is
 // suppressed by a same-line or preceding-line comment of the form
@@ -40,6 +41,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	listRules := fs.Bool("rules", false, "list the rules and exit")
 	baseline := fs.String("baseline", "", "suppress findings recorded in this baseline file; fail only on new ones")
 	writeBaseline := fs.String("write-baseline", "", "record current findings to this baseline file and exit 0")
+	fix := fs.Bool("fix", false, "rewrite source to remove stale //lint:ignore rules, then re-run")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -71,6 +73,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	findings := lint.Run(pkgs, rules)
+	if *fix {
+		edits, fixed, err := lint.FixAndRerun(root, patterns, pkgs, lint.AsPasses(rules))
+		if err != nil {
+			_, _ = fmt.Fprintln(stderr, "sdclint:", err)
+			return 2
+		}
+		for _, e := range edits {
+			_, _ = fmt.Fprintf(stderr, "sdclint: fixed %s:%d: removed stale ignore of %v\n", e.File, e.Line, e.Removed)
+		}
+		findings = fixed
+	}
 	if *writeBaseline != "" {
 		if err := lint.WriteBaselineFile(*writeBaseline, findings); err != nil {
 			_, _ = fmt.Fprintln(stderr, "sdclint:", err)

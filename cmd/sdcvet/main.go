@@ -3,30 +3,47 @@
 // sdc-shared-write (worker-body writes to shared reduction arrays must
 // be provably confined or flow through an approved strategy.Reducer)
 // and hot-loop (no allocation, defer or map iteration inside loops of
-// functions reachable from Compute or the force sweeps) — and the four
+// functions reachable from Compute or the force sweeps) — the four
 // sdcflow concurrency-lifecycle passes: goroutine-leak (every go
 // statement needs provable join/stop evidence), lock-order (the mutex
 // acquisition graph must be acyclic with no re-acquisition),
 // ctx-propagation (blocking operations reachable from ctx-accepting
 // entry points must be cancellable), and nondet-order (map iteration
 // order must not flow into float accumulation, serialization, or
-// unsorted results).
+// unsorted results) — and the three sdcatomic memory-model passes:
+// mixed-access (no plain access to data also accessed via sync/atomic
+// unless one lock dominates both), publication-safety (data published
+// through an atomic store must be fully written before the store and
+// re-loaded through the atomic before use), and cas-loop (CAS retry
+// loops must re-load their target and not recompute from mutable
+// non-atomic state).
 //
 //	sdcvet ./...             # analyze the whole tree, exit 1 on findings
 //	sdcvet -json ./...       # one JSON finding per line, for tooling
 //	sdcvet -sarif ./...      # one SARIF 2.1.0 document, for CI upload
 //	sdcvet -rules            # list every rule/pass and what it enforces
+//	sdcvet -fix ./...        # remove stale //lint:ignore rules in place
 //
 //	sdcvet -write-baseline vet.base ./...   # record current findings
 //	sdcvet -baseline vet.base ./...         # fail only on NEW findings
+//
+//	sdcvet -write-kernel-budget LINT_kernel.json   # record compiler budget
+//	sdcvet -kernel-budget                          # gate against it
 //
 // Everything runs under one driver over one parse and type-check of
 // the tree. Findings print as file:line:col: rule: message and are
 // suppressed by the same //lint:ignore <rule>[,<rule>...] <reason>
 // directives sdclint honors. A baseline file (one JSON finding per
 // line, matched by file+rule+message) gates a run on "no new findings"
-// while a surfaced backlog is burned down. See DESIGN.md, "Correctness
-// tooling".
+// while a surfaced backlog is burned down.
+//
+// The kernel-budget mode is a different kind of gate: instead of AST
+// passes it replays the compiler's own escape-analysis and
+// bounds-check diagnostics for the kernel packages (internal/force,
+// internal/strategy) and diffs per-file counts against the committed
+// LINT_kernel.json, failing on any increase — heap escapes and
+// retained bounds checks in the sweep loops regress silently
+// otherwise. See DESIGN.md, "Correctness tooling".
 package main
 
 import (
@@ -37,6 +54,7 @@ import (
 
 	"sdcmd/internal/flow"
 	"sdcmd/internal/lint"
+	"sdcmd/internal/mem"
 	"sdcmd/internal/vet"
 )
 
@@ -46,7 +64,8 @@ func main() {
 
 func passes() []lint.Pass {
 	all := append(lint.AsPasses(lint.DefaultRules()), vet.Passes()...)
-	return append(all, flow.Passes()...)
+	all = append(all, flow.Passes()...)
+	return append(all, mem.Passes()...)
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
@@ -57,6 +76,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	listRules := fs.Bool("rules", false, "list the rules and passes, then exit")
 	baseline := fs.String("baseline", "", "suppress findings recorded in this baseline file; fail only on new ones")
 	writeBaseline := fs.String("write-baseline", "", "record current findings to this baseline file and exit 0")
+	fix := fs.Bool("fix", false, "rewrite source to remove stale //lint:ignore rules, then re-run")
+	kernelBudget := fs.Bool("kernel-budget", false, "diff compiler escape/bounds-check diagnostics against the kernel budget baseline instead of running the passes")
+	kernelBaseline := fs.String("kernel-baseline", "LINT_kernel.json", "kernel budget baseline file for -kernel-budget")
+	writeKernelBudget := fs.String("write-kernel-budget", "", "record the current kernel budget to this file and exit 0")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -82,12 +105,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 		_, _ = fmt.Fprintln(stderr, "sdcvet:", err)
 		return 2
 	}
+	if *kernelBudget || *writeKernelBudget != "" {
+		return runKernelBudget(root, fs.Args(), *kernelBaseline, *writeKernelBudget, stdout, stderr)
+	}
 	pkgs, err := lint.Load(root, patterns)
 	if err != nil {
 		_, _ = fmt.Fprintln(stderr, "sdcvet:", err)
 		return 2
 	}
 	findings := lint.RunPasses(pkgs, all)
+	if *fix {
+		edits, fixed, err := lint.FixAndRerun(root, patterns, pkgs, all)
+		if err != nil {
+			_, _ = fmt.Fprintln(stderr, "sdcvet:", err)
+			return 2
+		}
+		for _, e := range edits {
+			_, _ = fmt.Fprintf(stderr, "sdcvet: fixed %s:%d: removed stale ignore of %v\n", e.File, e.Line, e.Removed)
+		}
+		findings = fixed
+	}
 	if *writeBaseline != "" {
 		if err := lint.WriteBaselineFile(*writeBaseline, findings); err != nil {
 			_, _ = fmt.Fprintln(stderr, "sdcvet:", err)

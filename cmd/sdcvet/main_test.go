@@ -148,6 +148,7 @@ func TestRunRulesListsAllPasses(t *testing.T) {
 		"unchecked-error", "kernel-determinism", "no-panic",
 		"sdc-shared-write", "hot-loop",
 		"goroutine-leak", "lock-order", "ctx-propagation", "nondet-order",
+		"mixed-access", "publication-safety", "cas-loop",
 	} {
 		if !strings.Contains(s, want) {
 			t.Errorf("-rules missing %s:\n%s", want, s)
@@ -222,6 +223,150 @@ func TestRunBaselineGate(t *testing.T) {
 		if !strings.Contains(line, "goroutine-leak") {
 			t.Errorf("non-new finding leaked past the baseline: %s", line)
 		}
+	}
+}
+
+// TestRunMemFixtureFindings drives the three sdcatomic passes through
+// the command over their own broken fixture.
+func TestRunMemFixtureFindings(t *testing.T) {
+	chdirTo(t, "internal/mem/testdata/src")
+	var out, errb bytes.Buffer
+	code := run([]string{"./..."}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr: %s", code, errb.String())
+	}
+	s := out.String()
+	for _, want := range []string{
+		"mixed-access", "publication-safety", "cas-loop",
+		"internal/mixed/bad.go", "internal/brokendeque/deque.go",
+		"internal/casloop/bad.go",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestKernelBudgetGate pins the -write-kernel-budget / -kernel-budget
+// cycle on a scratch module: a recorded budget gates its own tree at
+// exit 0, a baseline recorded too low fails the gate, and one recorded
+// too high passes with an improvement note.
+func TestKernelBudgetGate(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module scratch\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src := `package scratch
+
+func Escape() *int {
+	v := 42
+	return &v
+}
+
+func Index(xs []float64, i int) float64 {
+	return xs[i]
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "k.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = os.Chdir(old) })
+
+	base := filepath.Join(dir, "LINT_kernel.json")
+	var out, errb bytes.Buffer
+	if code := run([]string{"-write-kernel-budget", base, "."}, &out, &errb); code != 0 {
+		t.Fatalf("-write-kernel-budget exit %d; stderr: %s", code, errb.String())
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-kernel-budget", "-kernel-baseline", base, "."}, &out, &errb); code != 0 {
+		t.Fatalf("self gate exit %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+
+	// Tampered baseline with a lower bounds count: the gate must fail
+	// and name the regressed file and metric.
+	data, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lowered := strings.Replace(string(data), `"bounds": 1`, `"bounds": 0`, 1)
+	if lowered == string(data) {
+		t.Fatalf("baseline had no bounds count to tamper with:\n%s", data)
+	}
+	if err := os.WriteFile(base, []byte(lowered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-kernel-budget", "-kernel-baseline", base, "."}, &out, &errb); code != 1 {
+		t.Fatalf("regressed gate exit %d, want 1\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "kernel budget exceeded") || !strings.Contains(out.String(), "bounds") {
+		t.Errorf("regression output missing detail:\n%s", out.String())
+	}
+
+	// Inflated baseline: improvement, gate passes with a note.
+	raised := strings.Replace(string(data), `"bounds": 1`, `"bounds": 5`, 1)
+	if err := os.WriteFile(base, []byte(raised), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-kernel-budget", "-kernel-baseline", base, "."}, &out, &errb); code != 0 {
+		t.Fatalf("improved gate exit %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(errb.String(), "improvement") {
+		t.Errorf("improvement note missing:\n%s", errb.String())
+	}
+}
+
+// TestRunFixRemovesStaleIgnore drives -fix end to end: a directive for
+// a known rule that fires nothing is stale (exit 1 without -fix), and
+// -fix rewrites the file and exits clean.
+func TestRunFixRemovesStaleIgnore(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module tmp\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "a.go")
+	src := "package tmp\n\n//lint:ignore no-panic historical\nfunc F() int { return 1 }\n"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = os.Chdir(old) })
+
+	var out, errb bytes.Buffer
+	if code := run([]string{"./..."}, &out, &errb); code != 1 || !strings.Contains(out.String(), "stale-ignore") {
+		t.Fatalf("expected stale-ignore finding, exit %d:\n%s", code, out.String())
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-fix", "./..."}, &out, &errb); code != 0 {
+		t.Fatalf("-fix exit %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(errb.String(), "removed stale ignore") {
+		t.Errorf("fix report missing:\n%s", errb.String())
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(got), "lint:ignore") {
+		t.Errorf("stale directive survived -fix:\n%s", got)
 	}
 }
 

@@ -1,0 +1,91 @@
+package flow
+
+import (
+	"go/token"
+	"sort"
+
+	"sdcmd/internal/lint"
+)
+
+// HeldSpan records the mutex classes held at the entry of one
+// statement. Spans nest the way statements do: an access position is
+// governed by the innermost span covering it.
+type HeldSpan struct {
+	// Pos and End delimit the statement.
+	Pos, End token.Pos
+	// Locks are the held lock classes, sorted. A class names a mutex
+	// the analysis can identify stably: "pkgPath.Type.field" for struct
+	// fields, "pkgPath.var" for package-level variables.
+	Locks []string
+}
+
+// HeldIndex answers "which locks are held at this position" queries
+// over one loaded program. It is the exported face of the lock-order
+// pass's held-set machinery, built so other analyzers (sdcatomic's
+// mixed-access pass) can reuse lock domination instead of re-deriving
+// it.
+type HeldIndex struct {
+	spans []HeldSpan // sorted by Pos
+}
+
+// HeldSpans runs the held-set scan of the lock-order pass over every
+// function body (declarations and hatched literals alike) and returns
+// the resulting index. The scan models exactly what lock-order models:
+// direct Lock/RLock–Unlock/RUnlock pairs on nameable sync.Mutex and
+// sync.RWMutex classes, deferred unlocks (the class stays held to the
+// end of the body), and branch-intersection merges. Goroutine bodies
+// start with an empty held set — a spawned literal does not run under
+// its launcher's locks.
+func HeldSpans(pkgs []*lint.Package) *HeldIndex {
+	pr := buildProgram(pkgs)
+	idx := &HeldIndex{}
+	var sink []lint.Finding
+	for _, n := range pr.all {
+		s := &lockScan{
+			pr:   pr,
+			n:    n,
+			may:  map[*node]map[string]bool{},
+			g:    &lockGraph{edges: map[string]map[string]edgeWitness{}},
+			out:  &sink,
+			rule: "held-spans",
+			observe: func(pos, end token.Pos, held map[string]token.Pos) {
+				// Empty held sets are recorded too: a statement after an
+				// Unlock inside a locked region must shadow the enclosing
+				// span, or At would report the released lock as held.
+				var locks []string
+				if len(held) > 0 {
+					locks = make([]string, 0, len(held))
+					for c := range held {
+						locks = append(locks, c)
+					}
+					sort.Strings(locks)
+				}
+				idx.spans = append(idx.spans, HeldSpan{Pos: pos, End: end, Locks: locks})
+			},
+		}
+		s.stmts(n.body.List, map[string]token.Pos{})
+	}
+	sort.Slice(idx.spans, func(i, j int) bool {
+		if idx.spans[i].Pos != idx.spans[j].Pos {
+			return idx.spans[i].Pos < idx.spans[j].Pos
+		}
+		// Outer (longer) span first, so the backward walk in At meets
+		// the innermost of two spans starting at the same position last.
+		return idx.spans[i].End > idx.spans[j].End
+	})
+	return idx
+}
+
+// At returns the lock classes held at pos: the locks of the innermost
+// recorded span covering it, nil when no lock is held there. Because
+// spans nest, the innermost covering span is the first one found
+// walking backward from the last span starting at or before pos.
+func (ix *HeldIndex) At(pos token.Pos) []string {
+	i := sort.Search(len(ix.spans), func(k int) bool { return ix.spans[k].Pos > pos })
+	for i--; i >= 0; i-- {
+		if ix.spans[i].End >= pos {
+			return ix.spans[i].Locks
+		}
+	}
+	return nil
+}

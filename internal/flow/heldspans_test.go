@@ -1,0 +1,79 @@
+package flow
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+	"testing"
+
+	"sdcmd/internal/lint"
+)
+
+// posOfLine finds positions in the fixture to probe the index with:
+// the first statement on a given line of a given fixture file.
+func posOfLine(t *testing.T, pkgs []*lint.Package, fileSuffix string, line int) token.Pos {
+	t.Helper()
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			if !strings.HasSuffix(f.Rel, fileSuffix) {
+				continue
+			}
+			var found token.Pos
+			ast.Inspect(f.AST, func(n ast.Node) bool {
+				if n == nil || found != token.NoPos {
+					return false
+				}
+				if st, ok := n.(ast.Stmt); ok && p.Fset.Position(st.Pos()).Line == line {
+					found = st.Pos()
+					return false
+				}
+				return true
+			})
+			if found != token.NoPos {
+				return found
+			}
+		}
+	}
+	t.Fatalf("no statement on %s:%d", fileSuffix, line)
+	return token.NoPos
+}
+
+// TestHeldSpansAt exercises the exported held-set index over the locks
+// fixture: inside Ordered.BothAgain the held set grows to both classes,
+// shrinks as locks release, and is empty between critical sections of
+// Sequential.
+func TestHeldSpansAt(t *testing.T) {
+	pkgs := loadFixture(t)
+	idx := HeldSpans(pkgs)
+
+	// safe.go BothAgain:
+	//   o.first.Lock()     line 23
+	//   o.second.Lock()    line 24  (first held at entry)
+	//   o.second.Unlock()  line 25  (first+second held at entry)
+	//   o.first.Unlock()   line 26  (first held at entry)
+	at := func(line int) []string {
+		return idx.At(posOfLine(t, pkgs, "locks/safe.go", line))
+	}
+	if got := at(24); len(got) != 1 || !strings.HasSuffix(got[0], "Ordered.first") {
+		t.Errorf("line 24 held = %v, want [.. Ordered.first]", got)
+	}
+	if got := at(25); len(got) != 2 {
+		t.Errorf("line 25 held = %v, want two classes", got)
+	}
+	if got := at(26); len(got) != 1 || !strings.HasSuffix(got[0], "Ordered.first") {
+		t.Errorf("line 26 held = %v, want [.. Ordered.first]", got)
+	}
+
+	// Sequential (lines 31-34): line 33 re-locks after a release; at its
+	// entry nothing is held.
+	if got := at(33); len(got) != 0 {
+		t.Errorf("between critical sections held = %v, want none", got)
+	}
+
+	// Deferred unlocks keep the class held to the end of the body:
+	// locks.go Both-style AB (lines 15-18), line 17 holds a.
+	if got := idx.At(posOfLine(t, pkgs, "locks/locks.go", 17)); len(got) != 1 ||
+		!strings.HasSuffix(got[0], "Pair.a") {
+		t.Errorf("under deferred unlock held = %v, want [.. Pair.a]", got)
+	}
+}

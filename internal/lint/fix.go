@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"os"
+	"sort"
+	"strings"
+)
+
+// FixEdit records one rewritten //lint:ignore directive.
+type FixEdit struct {
+	File    string   // Rel path of the edited file
+	Line    int      // line the directive occupied
+	Removed []string // stale rules removed from it
+	Deleted bool     // the whole comment (or standalone line) was removed
+}
+
+// FixStaleIgnores rewrites the source files of pkgs, removing the
+// stale rules that staleIgnores would report: directive rules among
+// known that suppressed nothing in the preceding RunPasses call. A
+// directive that keeps at least one rule is regenerated in place; one
+// that loses them all is deleted — the whole line when the comment
+// stands alone, the trailing comment otherwise. Call it only after
+// RunPasses has populated the usage marks, and re-load before running
+// passes again: positions shift when lines are deleted.
+func FixStaleIgnores(pkgs []*Package, known map[string]bool) ([]FixEdit, error) {
+	type edit struct {
+		d       *ignoreDirective
+		keep    []string
+		removed []string
+	}
+	byPath := map[string][]edit{}
+	relPath := map[string]string{}
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			relPath[f.Rel] = f.Path
+		}
+		for i := range p.ignores {
+			d := &p.ignores[i]
+			if !d.wellFormed() {
+				continue
+			}
+			var keep, removed []string
+			for k, r := range d.rules {
+				if known[r] && !d.used[k] {
+					removed = append(removed, r)
+				} else {
+					keep = append(keep, r)
+				}
+			}
+			if len(removed) == 0 {
+				continue
+			}
+			path := relPath[d.file]
+			if path == "" {
+				continue
+			}
+			byPath[path] = append(byPath[path], edit{d: d, keep: keep, removed: removed})
+		}
+	}
+	paths := make([]string, 0, len(byPath))
+	for p := range byPath {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	var out []FixEdit
+	for _, path := range paths {
+		edits := byPath[path]
+		// Bottom-up, so deleting a line does not shift the lines of
+		// edits still to apply.
+		sort.Slice(edits, func(i, j int) bool { return edits[i].d.line > edits[j].d.line })
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return out, err
+		}
+		lines := strings.Split(string(data), "\n")
+		for _, e := range edits {
+			idx := e.d.line - 1
+			if idx < 0 || idx >= len(lines) {
+				continue
+			}
+			line := lines[idx]
+			at := strings.Index(line, "//"+ignorePrefix)
+			if at < 0 {
+				continue
+			}
+			fe := FixEdit{File: e.d.file, Line: e.d.line, Removed: e.removed}
+			if len(e.keep) > 0 {
+				lines[idx] = line[:at] + "//" + ignorePrefix + " " +
+					strings.Join(e.keep, ",") + " " + e.d.reason
+			} else if head := strings.TrimRight(line[:at], " \t"); head != "" {
+				lines[idx] = head
+				fe.Deleted = true
+			} else {
+				lines = append(lines[:idx], lines[idx+1:]...)
+				fe.Deleted = true
+			}
+			out = append(out, fe)
+		}
+		if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")), 0o644); err != nil {
+			return out, err
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].Line < out[j].Line
+	})
+	return out, nil
+}
+
+// FixAndRerun is the command-level fix cycle: remove the stale ignore
+// rules RunPasses(pkgs, passes) left marked, then re-load and re-run
+// so the returned findings describe the rewritten tree (line numbers
+// shift when standalone directives are deleted). pkgs must come from
+// the same root and patterns.
+func FixAndRerun(root string, patterns []string, pkgs []*Package, passes []Pass) ([]FixEdit, []Finding, error) {
+	edits, err := FixStaleIgnores(pkgs, KnownRules(passes))
+	if err != nil {
+		return edits, nil, err
+	}
+	if len(edits) == 0 {
+		return nil, RunPasses(pkgs, passes), nil
+	}
+	fresh, err := Load(root, patterns)
+	if err != nil {
+		return edits, nil, err
+	}
+	return edits, RunPasses(fresh, passes), nil
+}
+
+// KnownRules collects the rule names a set of passes enforces, the
+// `known` argument FixStaleIgnores and staleIgnores judge against.
+func KnownRules(passes []Pass) map[string]bool {
+	known := make(map[string]bool, len(passes))
+	for _, p := range passes {
+		known[p.Name()] = true
+	}
+	return known
+}

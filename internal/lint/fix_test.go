@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// stubPass fires a fixed set of findings, for exercising directive
+// usage marks deterministically.
+type stubPass struct {
+	name     string
+	findings []Finding
+}
+
+func (s stubPass) Name() string                 { return s.name }
+func (s stubPass) Doc() string                  { return "stub" }
+func (s stubPass) Analyze([]*Package) []Finding { return s.findings }
+
+const fixSrc = `package tmp
+
+//lint:ignore demo,gone one live rule, one stale
+var X = 1
+
+var Y = 2 //lint:ignore gone trailing, fully stale
+
+//lint:ignore gone standalone, fully stale
+var Z = 3
+`
+
+func writeFixModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module tmp\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "a.go"), []byte(fixSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func fixPasses() []Pass {
+	return []Pass{
+		stubPass{name: "demo", findings: []Finding{{File: "a.go", Line: 4, Col: 1, Rule: "demo", Message: "demo fires on X"}}},
+		stubPass{name: "gone"}, // known but never fires: its directives are stale
+	}
+}
+
+// TestFixStaleIgnores pins the three rewrite shapes: prune one rule of
+// a multi-rule directive, strip a fully stale trailing comment, delete
+// a fully stale standalone line.
+func TestFixStaleIgnores(t *testing.T) {
+	dir := writeFixModule(t)
+	pkgs, err := Load(dir, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	passes := fixPasses()
+	findings := RunPasses(pkgs, passes)
+	stale := 0
+	for _, f := range findings {
+		if f.Rule == "stale-ignore" {
+			stale++
+		}
+	}
+	if stale != 3 {
+		t.Fatalf("expected 3 stale-ignore findings before fixing, got %d:\n%v", stale, findings)
+	}
+
+	edits, err := FixStaleIgnores(pkgs, KnownRules(passes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(edits) != 3 {
+		t.Fatalf("edits = %v, want 3", edits)
+	}
+
+	got, err := os.ReadFile(filepath.Join(dir, "a.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `package tmp
+
+//lint:ignore demo one live rule, one stale
+var X = 1
+
+var Y = 2
+
+var Z = 3
+`
+	if string(got) != want {
+		t.Errorf("rewritten file:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestFixIdempotent pins the fix point: after one fix round, a
+// re-load reports no stale-ignore findings and a second fix makes no
+// edits.
+func TestFixIdempotent(t *testing.T) {
+	dir := writeFixModule(t)
+	passes := fixPasses()
+	pkgs, err := Load(dir, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	RunPasses(pkgs, passes)
+	if _, err := FixStaleIgnores(pkgs, KnownRules(passes)); err != nil {
+		t.Fatal(err)
+	}
+
+	pkgs, err = Load(dir, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range RunPasses(pkgs, passes) {
+		if f.Rule == "stale-ignore" {
+			t.Errorf("stale finding survived the fix: %s", f.String())
+		}
+	}
+	edits, err := FixStaleIgnores(pkgs, KnownRules(passes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(edits) != 0 {
+		t.Errorf("second fix made edits: %v", edits)
+	}
+	got, err := os.ReadFile(filepath.Join(dir, "a.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(got), "gone") {
+		t.Errorf("stale rule survived in source:\n%s", got)
+	}
+}

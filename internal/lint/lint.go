@@ -106,15 +106,12 @@ func Run(pkgs []*Package, rules []Rule) []Finding {
 // so sdclint does not condemn a directive meant for an sdcvet pass.
 func RunPasses(pkgs []*Package, passes []Pass) []Finding {
 	byFile := map[string]*Package{}
-	known := map[string]bool{}
+	known := KnownRules(passes)
 	for _, p := range pkgs {
 		p.resetIgnoreUse()
 		for _, f := range p.Files {
 			byFile[f.Rel] = p
 		}
-	}
-	for _, pass := range passes {
-		known[pass.Name()] = true
 	}
 	var out []Finding
 	for _, pass := range passes {

@@ -1,0 +1,79 @@
+package mem
+
+import (
+	"sdcmd/internal/lint"
+)
+
+// casLoopPass checks CAS retry loops. A CompareAndSwap inside a loop
+// is a claim protocol: on failure the loop must re-load the target
+// through the atomic before retrying — a stale expected value spins
+// forever or, worse, succeeds against recycled state (ABA). And the
+// recomputation between load and CAS must not read mutable non-atomic
+// state: a concurrent writer can change it after the load, making the
+// CAS install a value computed from a torn mix of old and new.
+//
+// Single-shot CAS attempts outside loops (state transitions guarded by
+// `if x.CompareAndSwap(...)`) are legitimate and not judged. CAS
+// through pointers to unnameable state (locals, parameters) is skipped
+// — a documented under-approximation matching the rest of the index.
+type casLoopPass struct{ sh *shared }
+
+func (p *casLoopPass) Name() string { return "cas-loop" }
+
+func (p *casLoopPass) Doc() string {
+	return "a CAS retry loop must re-load its target inside the loop and must not recompute from mutable non-atomic state"
+}
+
+func (p *casLoopPass) Analyze(pkgs []*lint.Package) []lint.Finding {
+	ix := p.sh.indexFor(pkgs)
+	var out []lint.Finding
+	for _, fn := range ix.fns {
+		for _, cas := range fn.accesses {
+			if !cas.cas {
+				continue
+			}
+			loop, ok := fn.innermostLoop(cas.pos)
+			if !ok {
+				continue
+			}
+			// Re-load check: an atomic load of the CAS target somewhere in
+			// the same loop (before the CAS for the first iteration, or
+			// after it for retry-at-bottom shapes — both are sound).
+			reloaded := false
+			for _, a := range fn.accesses {
+				if a.pos < loop.pos || a.pos >= loop.end || a == cas {
+					continue
+				}
+				if a.atomic && a.read && !a.cas && a.class == cas.class && a.elem == cas.elem {
+					reloaded = true
+					break
+				}
+			}
+			if !reloaded {
+				out = append(out, ix.finding(p.Name(), cas.pos,
+					"CAS retry loop on "+shortClass(cas.class)+
+						" never re-loads it inside the loop; a failed CAS retries with a stale expected value — re-load through the atomic each iteration"))
+			}
+			// Recompute check: plain reads of mutable classes inside the
+			// loop feed the retried computation; one finding per class.
+			flagged := map[string]bool{}
+			for _, a := range fn.accesses {
+				if a.pos < loop.pos || a.pos >= loop.end {
+					continue
+				}
+				if a.atomic || !a.read || a.write || a.ctor || flagged[a.class] {
+					continue
+				}
+				ci := ix.classes[a.class]
+				if ci == nil || !ci.mutable {
+					continue
+				}
+				flagged[a.class] = true
+				out = append(out, ix.finding(p.Name(), a.pos,
+					"CAS retry loop on "+shortClass(cas.class)+" reads mutable non-atomic "+
+						shortClass(a.class)+" in its recomputation; a concurrent writer can change it between load and CAS — snapshot it before the loop or make it atomic"))
+			}
+		}
+	}
+	return sortFindings(out)
+}

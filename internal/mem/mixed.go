@@ -1,0 +1,131 @@
+package mem
+
+import (
+	"go/token"
+	"sort"
+
+	"sdcmd/internal/lint"
+)
+
+// mixedPass flags classes accessed via sync/atomic at one site and by
+// plain load/store at another with no lock dominating both kinds of
+// access. Mixing atomic and plain accesses to the same memory is a
+// data race under the Go memory model no matter how the values are
+// used; the race detector only observes mixes the schedule of one run
+// exhibits, while this pass judges every access the source admits.
+type mixedPass struct{ sh *shared }
+
+func (p *mixedPass) Name() string { return "mixed-access" }
+
+func (p *mixedPass) Doc() string {
+	return "a field or variable accessed via sync/atomic must not also be accessed plainly unless one lock dominates both kinds of access"
+}
+
+func (p *mixedPass) Analyze(pkgs []*lint.Package) []lint.Finding {
+	ix := p.sh.indexFor(pkgs)
+	var out []lint.Finding
+
+	type groupKey struct {
+		class string
+		elem  bool
+	}
+	type group struct {
+		atomics []*access
+		plains  []*access
+	}
+	groups := map[groupKey]*group{}
+	for _, fn := range ix.fns {
+		for _, a := range fn.accesses {
+			k := groupKey{a.class, a.elem}
+			g := groups[k]
+			if g == nil {
+				g = &group{}
+				groups[k] = g
+			}
+			if a.atomic {
+				g.atomics = append(g.atomics, a)
+			} else if !a.ctor {
+				// Plain initializing writes inside a constructor happen
+				// before the value is shared; they are not a mix.
+				g.plains = append(g.plains, a)
+			}
+		}
+	}
+
+	keys := make([]groupKey, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].class != keys[j].class {
+			return keys[i].class < keys[j].class
+		}
+		return !keys[i].elem
+	})
+
+	for _, k := range keys {
+		g := groups[k]
+		if len(g.atomics) == 0 || len(g.plains) == 0 {
+			continue
+		}
+		if commonLock(ix, g.atomics, g.plains) {
+			continue
+		}
+		sort.Slice(g.atomics, func(i, j int) bool { return g.atomics[i].pos < g.atomics[j].pos })
+		witness := ix.site(g.atomics[0].pos)
+		what := shortClass(k.class)
+		if k.elem {
+			what += " elements"
+		}
+		seen := map[token.Pos]bool{}
+		sort.Slice(g.plains, func(i, j int) bool { return g.plains[i].pos < g.plains[j].pos })
+		for _, a := range g.plains {
+			if seen[a.pos] {
+				continue
+			}
+			seen[a.pos] = true
+			verb := "read"
+			if a.write {
+				verb = "written"
+			}
+			out = append(out, ix.finding(p.Name(), a.pos,
+				what+" is accessed atomically at "+witness+" but "+verb+
+					" plainly here with no lock dominating both sites; make this access atomic or guard both under one mutex"))
+		}
+	}
+	return sortFindings(out)
+}
+
+// commonLock reports whether one lock class is held at every listed
+// access — atomic and plain alike — making the mix benign.
+func commonLock(ix *index, lists ...[]*access) bool {
+	var common map[string]bool
+	first := true
+	for _, list := range lists {
+		for _, a := range list {
+			held := ix.held.At(a.pos)
+			if len(held) == 0 {
+				return false
+			}
+			if first {
+				common = map[string]bool{}
+				for _, c := range held {
+					common[c] = true
+				}
+				first = false
+				continue
+			}
+			next := map[string]bool{}
+			for _, c := range held {
+				if common[c] {
+					next[c] = true
+				}
+			}
+			common = next
+			if len(common) == 0 {
+				return false
+			}
+		}
+	}
+	return len(common) > 0
+}

@@ -1,0 +1,38 @@
+package brokendeque
+
+import "sync/atomic"
+
+// Fixed is the correct protocol: slot writes happen before the
+// publishing tail store, and consumers load the bounds before copying
+// slots. It must produce no findings.
+type Fixed struct {
+	head atomic.Int64
+	tail atomic.Int64
+	buf  []atomic.Int32
+	mask int64
+}
+
+func NewFixed(n int) *Fixed {
+	f := &Fixed{buf: make([]atomic.Int32, n)}
+	f.mask = int64(n - 1)
+	return f
+}
+
+func (f *Fixed) Push(v int32) {
+	t := f.tail.Load()
+	f.buf[t&f.mask].Store(v)
+	f.tail.Store(t + 1)
+}
+
+func (f *Fixed) Steal() (int32, bool) {
+	h := f.head.Load()
+	t := f.tail.Load()
+	if h >= t {
+		return 0, false
+	}
+	v := f.buf[h&f.mask].Load()
+	if f.head.CompareAndSwap(h, h+1) {
+		return v, true
+	}
+	return 0, false
+}

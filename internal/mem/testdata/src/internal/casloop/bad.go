@@ -1,0 +1,31 @@
+// Package casloop seeds broken CAS retry loops for the cas-loop pass.
+package casloop
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Accum is a float accumulator over a bit-cast atomic, with a mutable
+// scale applied on every add.
+type Accum struct {
+	bits  atomic.Uint64
+	scale float64
+}
+
+func (a *Accum) SetScale(s float64) {
+	a.scale = s
+}
+
+// Add loads the accumulator once outside the loop — a failed CAS
+// retries against a stale expected value — and recomputes from the
+// mutable scale field, which SetScale can change mid-loop.
+func (a *Accum) Add(v float64) {
+	old := a.bits.Load()
+	for {
+		next := math.Float64bits(math.Float64frombits(old) + v*a.scale)
+		if a.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package casloop
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// AddFixed snapshots the mutable scale before the loop and re-loads
+// the accumulator on every iteration: no findings.
+func (a *Accum) AddFixed(v float64) {
+	scale := a.scale
+	for {
+		old := a.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v*scale)
+		if a.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Gate shows the shapes the pass deliberately leaves alone.
+type Gate struct {
+	state atomic.Int32
+}
+
+// TryOpen is a single-shot CAS outside any loop: a legitimate state
+// transition, not a retry protocol.
+func (g *Gate) TryOpen() bool {
+	return g.state.CompareAndSwap(0, 1)
+}
+
+// Spin re-loads at the bottom of the loop (retry-at-bottom shape),
+// which is just as sound as loading at the top.
+func (g *Gate) Spin() {
+	old := g.state.Load()
+	for {
+		if g.state.CompareAndSwap(old, old+1) {
+			return
+		}
+		old = g.state.Load()
+	}
+}

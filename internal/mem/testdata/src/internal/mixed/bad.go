@@ -1,0 +1,45 @@
+// Package mixed seeds mixed atomic/plain accesses for the
+// mixed-access pass.
+package mixed
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Counter mixes atomic increments with plain reads and a plain write
+// guarded by a lock the atomic sites never take.
+type Counter struct {
+	mu   sync.Mutex
+	hits int64
+}
+
+func NewCounter() *Counter { return &Counter{} }
+
+func (c *Counter) Hit() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// Snapshot reads hits plainly: races with Hit.
+func (c *Counter) Snapshot() int64 {
+	return c.hits
+}
+
+// Reset writes hits under c.mu, but Hit does not take c.mu, so the
+// lock dominates only one side of the mix.
+func (c *Counter) Reset() {
+	c.mu.Lock()
+	c.hits = 0
+	c.mu.Unlock()
+}
+
+// ready is published atomically but polled plainly.
+var ready int32
+
+func Publish() {
+	atomic.StoreInt32(&ready, 1)
+}
+
+func Polled() bool {
+	return ready == 1
+}

@@ -1,0 +1,45 @@
+package mixed
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Guarded mixes atomic and plain access, but every site runs under
+// g.mu: one lock dominates both kinds, so the mix is benign.
+type Guarded struct {
+	mu sync.Mutex
+	n  int64
+}
+
+func (g *Guarded) Bump() {
+	g.mu.Lock()
+	atomic.AddInt64(&g.n, 1)
+	g.mu.Unlock()
+}
+
+func (g *Guarded) Read() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+// Gauge is accessed atomically everywhere after construction; the
+// plain initializing write in the constructor is exempt.
+type Gauge struct {
+	level int64
+}
+
+func NewGauge() *Gauge {
+	g := &Gauge{}
+	g.level = 8
+	return g
+}
+
+func (g *Gauge) Level() int64 {
+	return atomic.LoadInt64(&g.level)
+}
+
+func (g *Gauge) SetLevel(v int64) {
+	atomic.StoreInt64(&g.level, v)
+}

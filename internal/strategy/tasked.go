@@ -88,6 +88,17 @@ type taskedReducer struct {
 	sweeps       int
 	overlapCount atomic.Int64
 	overlapLog   [maxOverlapLog]atomic.Int64 // packed sweep<<40|a<<20|b, +1 so 0 means empty
+
+	// Test-only schedule perturbation hooks, nil in production so the
+	// kernel stays free of rand per the determinism lint. stealOrder
+	// replaces the round-robin victim scan with an arbitrary
+	// permutation of the other worker ids; rootShuffle reorders the
+	// root deal. The randomized stress test drives both from a seeded
+	// source to explore steal interleavings the deterministic scan
+	// never produces.
+	stealOrder  func(tid int) []int
+	rootShuffle func(roots []int32)
+	rootBuf     []int32 // scratch for the shuffled root deal, preallocated
 }
 
 const maxOverlapLog = 16
@@ -130,6 +141,7 @@ func newTaskedReducer(list *neighbor.List, pool *Pool, dec *core.Decomposition, 
 		executed: make([]int64, threads),
 		steals:   make([]int64, threads),
 		stolen:   make([]int64, threads),
+		rootBuf:  make([]int32, ns),
 	}
 	for t := 0; t < threads; t++ {
 		// Capacity ns per queue: a task sits in at most one queue at a
@@ -236,11 +248,25 @@ func (r *taskedReducer) runSweep(exec func(s int)) {
 	// Deal the roots (color-0 subdomains) round-robin so every worker
 	// starts with local work; no concurrency yet, the region below
 	// orders these pushes before any take.
-	w := 0
-	for s := 0; s < r.ns; s++ {
-		if r.nprev[s] == 0 {
-			r.queues[w].push(int32(s))
-			w = (w + 1) % threads
+	if r.rootShuffle != nil {
+		nroots := 0
+		for s := 0; s < r.ns; s++ {
+			if r.nprev[s] == 0 {
+				r.rootBuf[nroots] = int32(s)
+				nroots++
+			}
+		}
+		r.rootShuffle(r.rootBuf[:nroots])
+		for i, s := range r.rootBuf[:nroots] {
+			r.queues[i%threads].push(s)
+		}
+	} else {
+		w := 0
+		for s := 0; s < r.ns; s++ {
+			if r.nprev[s] == 0 {
+				r.queues[w].push(int32(s))
+				w = (w + 1) % threads
+			}
 		}
 	}
 	r.pool.Run(func(tid int) { r.drain(tid, exec) })
@@ -265,21 +291,20 @@ func (r *taskedReducer) drain(tid int, exec func(s int)) {
 			continue
 		}
 		found := false
-		for d := 1; d < threads; d++ {
-			v := (tid + d) % threads
-			k := r.queues[v].take(buf, r.ns, true)
-			if k == 0 {
-				continue
+		if r.stealOrder != nil {
+			for _, v := range r.stealOrder(tid) {
+				if r.stealFrom(tid, v, buf, exec) {
+					found = true
+					break
+				}
 			}
-			r.steals[tid]++
-			r.stolen[tid] += int64(k)
-			// Keep the first task, make the rest locally poppable.
-			for x := 1; x < k; x++ {
-				r.pushOrRun(tid, buf[x], exec)
+		} else {
+			for d := 1; d < threads; d++ {
+				if r.stealFrom(tid, (tid+d)%threads, buf, exec) {
+					found = true
+					break
+				}
 			}
-			r.execTask(int(buf[0]), tid, exec)
-			found = true
-			break
 		}
 		if !found {
 			// Nothing ready anywhere right now: predecessors are still
@@ -290,6 +315,23 @@ func (r *taskedReducer) drain(tid int, exec func(s int)) {
 			runtime.Gosched()
 		}
 	}
+}
+
+// stealFrom attempts a steal-half from victim v: on success it keeps
+// the first task for immediate execution and re-queues the rest
+// locally.
+func (r *taskedReducer) stealFrom(tid, v int, buf []int32, exec func(s int)) bool {
+	k := r.queues[v].take(buf, r.ns, true)
+	if k == 0 {
+		return false
+	}
+	r.steals[tid]++
+	r.stolen[tid] += int64(k)
+	for x := 1; x < k; x++ {
+		r.pushOrRun(tid, buf[x], exec)
+	}
+	r.execTask(int(buf[0]), tid, exec)
+	return true
 }
 
 // execTask runs one subdomain sweep and releases its DAG successors.
@@ -326,10 +368,15 @@ func (r *taskedReducer) pushOrRun(tid int, s int32, exec func(s int)) {
 }
 
 // noteOverlap records an in-flight overlap of adjacent subdomains.
+// The counter reserves the slot before the slot write lands, so the
+// count does not publish the log entries; each slot publishes itself
+// through its own atomic store, and readers skip the zero (reserved
+// but unwritten) slots that the +1 packing makes distinguishable.
 func (r *taskedReducer) noteOverlap(a, b int32) {
 	idx := r.overlapCount.Add(1) - 1
 	if idx < maxOverlapLog {
 		packed := (int64(r.sweeps)<<40 | int64(a)<<20 | int64(b)) + 1
+		//lint:ignore publication-safety slot is published by its own atomic store; readers treat overlapCount as a statistic and skip zero slots
 		r.overlapLog[idx].Store(packed)
 	}
 }

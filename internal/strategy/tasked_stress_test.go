@@ -1,0 +1,203 @@
+package strategy
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"sdcmd/internal/vec"
+)
+
+// TestTaskedRandomStealSchedule is the randomized steal-schedule
+// stress test: the schedule-equivalence theorem says the reduction is
+// bit-identical to SDC under ANY work-stealing schedule, so randomized
+// victim scans and root deals (seeded, reproducible) must not be able
+// to break it. Each worker perturbs its victim order from its own
+// seeded source — the hooks exist precisely so the production kernel
+// stays rand-free while tests explore interleavings the deterministic
+// round-robin scan never produces. Run under -race in CI, this is also
+// the dynamic half of the cross-validation contract pinned statically
+// by internal/mem's TestStaticCatchesBrokenDeque.
+func TestTaskedRandomStealSchedule(t *testing.T) {
+	s := newTestSystem(t, 6, 4.0)
+	sc, vc := s.visits()
+	n := s.list.N()
+
+	refPool := MustNewPool(2)
+	sdc, err := New(Config{Kind: SDC, List: s.list, Pool: refPool, Decomp: s.dec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantS := make([]float64, n)
+	sdc.SweepScalar(wantS, sc)
+	wantV := make([]vec.Vec3, n)
+	sdc.SweepVector(wantV, vc)
+	refPool.Close()
+
+	const threads = 4
+	for _, seed := range []int64{1, 7, 42, 1234, 99991} {
+		pool := MustNewPool(threads)
+		r, err := New(Config{Kind: Tasked, List: s.list, Pool: pool, Decomp: s.dec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := r.(*taskedReducer)
+		master := rand.New(rand.NewSource(seed))
+		// One source per worker: stealOrder runs concurrently on the
+		// workers, and worker w only ever touches sources[w].
+		sources := make([]*rand.Rand, threads)
+		for w := range sources {
+			sources[w] = rand.New(rand.NewSource(master.Int63()))
+		}
+		tr.stealOrder = func(tid int) []int {
+			perm := sources[tid].Perm(threads)
+			out := make([]int, 0, threads-1)
+			for _, v := range perm {
+				if v != tid {
+					out = append(out, v)
+				}
+			}
+			return out
+		}
+		rootSrc := rand.New(rand.NewSource(master.Int63()))
+		tr.rootShuffle = func(roots []int32) {
+			rootSrc.Shuffle(len(roots), func(i, j int) { roots[i], roots[j] = roots[j], roots[i] })
+		}
+
+		for rep := 0; rep < 5; rep++ {
+			gotS := make([]float64, n)
+			r.SweepScalar(gotS, sc)
+			gotV := make([]vec.Vec3, n)
+			r.SweepVector(gotV, vc)
+			for i := 0; i < n; i++ {
+				if math.Float64bits(gotS[i]) != math.Float64bits(wantS[i]) {
+					t.Fatalf("seed=%d rep=%d: scalar[%d] diverges from SDC under randomized schedule", seed, rep, i)
+				}
+				for a := 0; a < 3; a++ {
+					if math.Float64bits(gotV[i][a]) != math.Float64bits(wantV[i][a]) {
+						t.Fatalf("seed=%d rep=%d: vector[%d][%d] diverges from SDC under randomized schedule", seed, rep, i, a)
+					}
+				}
+			}
+		}
+		if ov := tr.OverlapCount(); ov != 0 {
+			t.Fatalf("seed=%d: %d overlaps under randomized schedule: %v", seed, ov, tr.TaskOverlaps())
+		}
+		pool.Close()
+	}
+}
+
+// brokenDeque reproduces, in executable form, the two publication bugs
+// seeded in internal/mem's brokendeque fixture: pushBug publishes tail
+// before the slot write; stealBug reads a slot before loading the
+// bounds that publish it. Slots are atomic so the race detector stays
+// quiet about the individual accesses — the bug is the protocol order,
+// observable as a stale (zero) sentinel where a published value must
+// be nonzero.
+type brokenDeque struct {
+	head atomic.Int64
+	tail atomic.Int64
+	buf  []atomic.Int32
+	mask int64
+}
+
+func newBrokenDeque(n int) *brokenDeque {
+	return &brokenDeque{buf: make([]atomic.Int32, n), mask: int64(n - 1)}
+}
+
+// pushBug publishes the incremented tail first, then yields to widen
+// the window before the slot write lands.
+func (d *brokenDeque) pushBug(v int32) {
+	t := d.tail.Load()
+	d.tail.Store(t + 1)
+	runtime.Gosched()
+	d.buf[t&d.mask].Store(v)
+}
+
+// pushOK is the correct producer order, used to isolate the
+// consumer-side bug.
+func (d *brokenDeque) pushOK(v int32) {
+	t := d.tail.Load()
+	d.buf[t&d.mask].Store(v)
+	d.tail.Store(t + 1)
+}
+
+// stealOK is the correct consumer order, used to isolate the
+// producer-side bug.
+func (d *brokenDeque) stealOK() (int32, bool) {
+	h := d.head.Load()
+	t := d.tail.Load()
+	if h >= t {
+		return 0, false
+	}
+	v := d.buf[h&d.mask].Load()
+	if d.head.CompareAndSwap(h, h+1) {
+		return v, true
+	}
+	return 0, false
+}
+
+// stealBug copies the slot before loading the bounds that publish it.
+func (d *brokenDeque) stealBug() (int32, bool) {
+	h := d.head.Load()
+	v := d.buf[h&d.mask].Load()
+	runtime.Gosched()
+	t := d.tail.Load()
+	if h >= t {
+		return 0, false
+	}
+	if d.head.CompareAndSwap(h, h+1) {
+		return v, true
+	}
+	return 0, false
+}
+
+// TestBrokenDequeCaughtDynamically is the dynamic half of the
+// static ⊇ dynamic cross-validation: both publication bugs the
+// publication-safety pass flags on the brokendeque fixture must also
+// be observable at runtime. Pushed values are all nonzero, so a thief
+// that returns zero read a slot the protocol had not published.
+func TestBrokenDequeCaughtDynamically(t *testing.T) {
+	run := func(name string, push func(*brokenDeque, int32), steal func(*brokenDeque) (int32, bool)) {
+		t.Run(name, func(t *testing.T) {
+			const cap, rounds = 64, 20000
+			for round := 0; round < rounds; round++ {
+				d := newBrokenDeque(cap)
+				done := make(chan struct{})
+				ready := make(chan struct{})
+				var stale atomic.Bool
+				go func() {
+					defer close(done)
+					close(ready) // thief is running before the first push
+					for taken := 0; taken < cap; {
+						v, ok := steal(d)
+						if !ok {
+							runtime.Gosched()
+							continue
+						}
+						if v == 0 {
+							stale.Store(true)
+						}
+						taken++
+					}
+				}()
+				<-ready
+				for i := 1; i <= cap; i++ {
+					push(d, int32(i))
+					// Yield between pushes so the thief interleaves at the
+					// frontier, where the stale window opens.
+					runtime.Gosched()
+				}
+				<-done
+				if stale.Load() {
+					return // bug observed: dynamic detector caught it
+				}
+			}
+			t.Fatalf("%s: publication bug never observed in %d rounds — dynamic coverage lost", name, rounds)
+		})
+	}
+	run("producer-publishes-before-write", (*brokenDeque).pushBug, (*brokenDeque).stealOK)
+	run("consumer-reads-before-load", (*brokenDeque).pushOK, (*brokenDeque).stealBug)
+}
