@@ -7,7 +7,8 @@
 //	sdcbench -experiment cluster             # §V future-work hybrid cluster study
 //	sdcbench -experiment tasked              # tasked vs SDC -> BENCH_tasked.json
 //	sdcbench -experiment serve               # job-service throughput -> BENCH_serve.json
-//	sdcbench -experiment all                 # everything, including tasked and serve
+//	sdcbench -experiment load                # traffic-shaped load run -> BENCH_load.json
+//	sdcbench -experiment all                 # everything, including tasked, serve and load
 //	sdcbench -experiment table1 -mode measured -cells 10 -steps 20
 //
 // Model mode (default) predicts the paper's 16-core Xeon E7320 testbed
@@ -26,6 +27,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"sdcmd"
 	"sdcmd/internal/serve"
@@ -42,7 +44,7 @@ func main() {
 // all runs — every experiment the command knows, in render order. The
 // usage string promises "everything", so skipping one here is a bug
 // (the flag-coverage test in main_test.go pins the set).
-var allExperiments = []string{"table1", "fig9", "reorder", "numa", "cluster", "tasked", "serve"}
+var allExperiments = []string{"table1", "fig9", "reorder", "numa", "cluster", "tasked", "serve", "load"}
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("sdcbench", flag.ContinueOnError)
@@ -59,6 +61,11 @@ func run(args []string) error {
 	taskedOut := fs.String("tasked-out", "BENCH_tasked.json", "tasked experiment: machine-readable output file")
 	baseline := fs.String("baseline", "", "tasked experiment: committed baseline JSON to diff speed ratios against")
 	benchTol := fs.Float64("bench-tolerance", 0.5, "tasked experiment: relative tolerance for the baseline ratio diff")
+	loadClients := fs.Int("load-clients", 200, "load experiment: concurrent synthetic clients")
+	loadDuration := fs.Duration("load-duration", 3*time.Second, "load experiment: how long clients keep submitting")
+	loadOut := fs.String("load-out", "BENCH_load.json", "load experiment: machine-readable output file")
+	loadBaseline := fs.String("load-baseline", "", "load experiment: committed baseline JSON to diff traffic rates against")
+	loadTol := fs.Float64("load-tolerance", 0.25, "load experiment: absolute tolerance for the baseline rate diff")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -94,6 +101,8 @@ func run(args []string) error {
 		switch name {
 		case "serve":
 			err = runServeBench(*serveJobs, *serveShards, *steps, *serveOut)
+		case "load":
+			err = runLoadBench(*loadClients, *loadDuration, *loadOut, *loadBaseline, *loadTol)
 		case "tasked":
 			err = sdcmd.RunTaskedBench(opts, *taskedOut, *baseline, *benchTol)
 		default:
@@ -126,5 +135,47 @@ func runServeBench(jobs, shards, steps int, out string) error {
 		return fmt.Errorf("serve bench: write %s: %w", out, err)
 	}
 	fmt.Printf("wrote %s\n", out)
+	return nil
+}
+
+// runLoadBench drives the traffic-shaped load harness — hundreds of
+// concurrent clients mixing submit/poll/stream/cancel across two
+// tenants — writes BENCH_load.json and, with -load-baseline, diffs the
+// run's traffic rates against the committed trajectory.
+func runLoadBench(clients int, duration time.Duration, out, baseline string, tol float64) error {
+	res, err := serve.RunLoad(serve.LoadOptions{Clients: clients, Duration: duration})
+	if err != nil {
+		return fmt.Errorf("load bench: %w", err)
+	}
+	if err := res.Render(os.Stdout); err != nil {
+		return err
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return fmt.Errorf("load bench: write %s: %w", out, err)
+	}
+	if err := res.WriteJSON(f); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("load bench: write %s: %w", out, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("load bench: write %s: %w", out, err)
+	}
+	fmt.Printf("wrote %s\n", out)
+	if baseline != "" {
+		bf, err := os.Open(baseline)
+		if err != nil {
+			return fmt.Errorf("load bench: baseline: %w", err)
+		}
+		base, err := serve.ReadLoadResult(bf)
+		_ = bf.Close()
+		if err != nil {
+			return err
+		}
+		if err := serve.CompareLoadBaseline(&res, base, tol); err != nil {
+			return err
+		}
+		fmt.Printf("load rates within %.2f absolute of %s\n", tol, baseline)
+	}
 	return nil
 }

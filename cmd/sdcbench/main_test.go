@@ -58,7 +58,7 @@ func TestRunServeBench(t *testing.T) {
 // skipped serve. Every dispatchable experiment must appear in
 // allExperiments exactly once.
 func TestAllCoversEveryExperiment(t *testing.T) {
-	want := []string{"table1", "fig9", "reorder", "numa", "cluster", "tasked", "serve"}
+	want := []string{"table1", "fig9", "reorder", "numa", "cluster", "tasked", "serve", "load"}
 	if len(allExperiments) != len(want) {
 		t.Fatalf("allExperiments = %v, want %v", allExperiments, want)
 	}
@@ -120,6 +120,49 @@ func TestRunTaskedBenchWritesAndDiffsBaseline(t *testing.T) {
 		"-threads", "2", "-tasked-out", filepath.Join(t.TempDir(), "next.json"),
 		"-baseline", out, "-bench-tolerance", "25"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunLoadBenchWritesAndDiffsBaseline(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_load.json")
+	if err := run([]string{"-experiment", "load", "-load-clients", "16",
+		"-load-duration", "300ms", "-load-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res struct {
+		Clients        int     `json:"clients"`
+		Submits        int     `json:"submits"`
+		Completed      int     `json:"completed"`
+		Errors         int     `json:"errors"`
+		JobsPerSec     float64 `json:"jobs_per_sec"`
+		CompletionRate float64 `json:"completion_rate"`
+	}
+	if err := json.Unmarshal(b, &res); err != nil {
+		t.Fatalf("BENCH_load.json: %v", err)
+	}
+	if res.Clients != 16 || res.Submits == 0 || res.Completed == 0 || res.JobsPerSec <= 0 {
+		t.Fatalf("implausible load output: %+v", res)
+	}
+	if res.Errors != 0 {
+		t.Errorf("load run logged %d errors", res.Errors)
+	}
+	// Diffing a fresh run against this output must pass with a loose
+	// tolerance — the CI load-baseline job does exactly this against
+	// the committed BENCH_load.json.
+	if err := run([]string{"-experiment", "load", "-load-clients", "16",
+		"-load-duration", "300ms", "-load-out", filepath.Join(t.TempDir(), "next.json"),
+		"-load-baseline", out, "-load-tolerance", "0.5"}); err != nil {
+		t.Fatal(err)
+	}
+	// A bogus baseline path is a hard error, not a silent skip.
+	if err := run([]string{"-experiment", "load", "-load-clients", "8",
+		"-load-duration", "200ms", "-load-out", filepath.Join(t.TempDir(), "x.json"),
+		"-load-baseline", filepath.Join(t.TempDir(), "missing.json")}); err == nil {
+		t.Error("missing baseline accepted")
 	}
 }
 

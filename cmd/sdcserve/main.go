@@ -10,9 +10,14 @@
 //	curl -s -X POST localhost:8080/jobs \
 //	    -d '{"cells":6,"steps":200,"strategy":"sdc","threads":4}'
 //	curl -s localhost:8080/jobs/j000000
+//	curl -sN localhost:8080/jobs/j000000/events   # live SSE feed
 //	curl -s localhost:8080/jobs/j000000/result
 //	curl -s -X DELETE localhost:8080/jobs/j000000
 //	curl -s localhost:8080/metrics
+//
+// With -tenants the server requires API keys and enforces per-tenant
+// quotas plus weighted fair-share dispatch (see README for the file
+// format); POST /arrays expands one request into a parameter sweep.
 //
 // With -store-dir the server also keeps a crash-safe durable result
 // store: completed results (plus final checkpoints and telemetry)
@@ -54,8 +59,17 @@ func run(args []string) error {
 	storeDir := fs.String("store-dir", "", "durable result store directory (empty = memory cache only)")
 	storeMaxBytes := fs.Int64("store-max-bytes", 0, "store retention: evict LRU entries beyond this footprint (0 = unbounded)")
 	storeMaxAge := fs.Duration("store-max-age", 0, "store retention: evict entries older than this (0 = keep forever)")
+	tenantsFile := fs.String("tenants", "", "tenants file enabling API keys, quotas and fair-share (empty = open anonymous access)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	var tenants *serve.TenantSet
+	if *tenantsFile != "" {
+		var err error
+		if tenants, err = serve.LoadTenants(*tenantsFile); err != nil {
+			return err
+		}
 	}
 
 	// First SIGINT/SIGTERM starts the graceful drain; a second one kills
@@ -84,6 +98,7 @@ func run(args []string) error {
 		StateDir:   *stateDir,
 		CheckEvery: *checkEvery,
 		Store:      st,
+		Tenants:    tenants,
 	})
 	if err != nil {
 		return err
@@ -97,16 +112,22 @@ func run(args []string) error {
 	}
 	fmt.Printf("sdcserve: listening on %s (shards=%d queue=%d cpu=%d)\n",
 		srv.Addr(), *maxJobs, *queue, *cpu)
+	if tenants != nil {
+		fmt.Printf("sdcserve: tenancy enabled for %d tenant(s)\n", len(tenants.Names()))
+	}
 	if c := sched.Counters(); c.Resumed > 0 {
 		fmt.Printf("sdcserve: resumed %d interrupted job(s) from %s\n", c.Resumed, *stateDir)
 	}
 
 	<-ctx.Done()
 	fmt.Println("sdcserve: draining (checkpointing in-flight jobs)...")
-	// Stop admission first so no job slips in behind the drain, then
-	// persist and wait for the shards.
-	cerr := srv.Close()
+	// Drain first, Close second: Drain flips the scheduler to draining
+	// (late submissions get a clean 503) and flushes a terminal event to
+	// every attached SSE stream, so those handlers end on their own and
+	// the HTTP shutdown that follows completes without cutting anyone
+	// off mid-stream.
 	derr := sched.Drain()
+	cerr := srv.Close()
 	if derr != nil {
 		return fmt.Errorf("drain: %w", derr)
 	}

@@ -1,0 +1,194 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ArraySpec is one POST expanding to a parameter sweep of jobs: the
+// template spec is replicated once per point in the cartesian product
+// of the non-empty axes. Duplicate points (and points whose normalized
+// spec already ran) deduplicate through the same content-addressed
+// cache, store and singleflight paths as individual submissions.
+type ArraySpec struct {
+	Template JobSpec `json:"template"`
+	// Seeds, Temperatures and Steps are the sweep axes; each non-empty
+	// axis overrides the template field point-wise. An empty axis keeps
+	// the template's value (one point).
+	Seeds        []int64   `json:"seeds,omitempty"`
+	Temperatures []float64 `json:"temperatures,omitempty"`
+	Steps        []int     `json:"steps,omitempty"`
+}
+
+// expand materializes the sweep's job specs in axis-major order
+// (seeds outermost, steps innermost) so array expansion is
+// deterministic.
+func (as ArraySpec) expand() []JobSpec {
+	seeds := as.Seeds
+	if len(seeds) == 0 {
+		seeds = []int64{as.Template.Seed}
+	}
+	temps := as.Temperatures
+	if len(temps) == 0 {
+		temps = []float64{as.Template.Temperature}
+	}
+	steps := as.Steps
+	if len(steps) == 0 {
+		steps = []int{as.Template.Steps}
+	}
+	out := make([]JobSpec, 0, len(seeds)*len(temps)*len(steps))
+	for _, seed := range seeds {
+		for _, temp := range temps {
+			for _, st := range steps {
+				sp := as.Template
+				sp.Seed = seed
+				sp.Temperature = temp
+				sp.Steps = st
+				out = append(out, sp)
+			}
+		}
+	}
+	return out
+}
+
+// Array is one accepted sweep: the member job IDs plus how many points
+// were refused at admission. Guarded by the scheduler mutex.
+type Array struct {
+	id       string
+	tenant   string
+	jobIDs   []string
+	rejected int
+}
+
+// ArrayStatus is the aggregate client-facing view of a sweep.
+type ArrayStatus struct {
+	ID     string `json:"id"`
+	Tenant string `json:"tenant,omitempty"`
+	// Total is the number of sweep points; Admitted of those became (or
+	// joined) jobs and Rejected were refused by quota or backpressure
+	// at submission — they are not retried.
+	Total    int `json:"total"`
+	Admitted int `json:"admitted"`
+	Rejected int `json:"rejected"`
+	// States counts member jobs by state; Done is true once every
+	// admitted member reached a terminal state.
+	States map[string]int `json:"states"`
+	Done   bool           `json:"done"`
+	// Jobs holds the member statuses in submission order. Results holds
+	// the result of every completed member, keyed by job ID.
+	Jobs    []Status          `json:"jobs"`
+	Results map[string]Result `json:"results,omitempty"`
+}
+
+// SubmitArray expands and admits a sweep for a tenant (nil means
+// anonymous). Admission is best-effort per point: points refused by a
+// tenant quota or queue backpressure are counted as rejected while the
+// rest proceed. The code is SubmitCreated when at least one point was
+// admitted; with every point refused it is the first refusal's code
+// and the error carries its cause, so the HTTP layer can surface a
+// meaningful 429.
+func (s *Scheduler) SubmitArray(t *Tenant, as ArraySpec) (ArrayStatus, SubmitCode, error) {
+	if t == nil {
+		t = anonymous()
+	}
+	specs := as.expand()
+	if len(specs) > s.opts.MaxArrayJobs {
+		return ArrayStatus{}, SubmitInvalid, fmt.Errorf("serve: array expands to %d jobs, cap is %d", len(specs), s.opts.MaxArrayJobs)
+	}
+	// Normalize and hash every point before taking the lock; a single
+	// invalid point rejects the whole array (a malformed sweep is a
+	// client bug, not partial weather).
+	norms := make([]JobSpec, len(specs))
+	hashes := make([]string, len(specs))
+	for i, sp := range specs {
+		norm, err := sp.normalized(s.opts.CPU, s.opts.MaxJobs)
+		if err != nil {
+			return ArrayStatus{}, SubmitInvalid, fmt.Errorf("serve: array point %d: %w", i, err)
+		}
+		h, err := norm.hash()
+		if err != nil {
+			return ArrayStatus{}, SubmitInvalid, fmt.Errorf("serve: array point %d: %w", i, err)
+		}
+		norms[i], hashes[i] = norm, h
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return ArrayStatus{}, SubmitDraining, errors.New("serve: draining, not accepting jobs")
+	}
+	arr := &Array{id: fmt.Sprintf("a%04d", s.nextArrayID), tenant: t.Name}
+	s.nextArrayID++
+	var (
+		firstErr  error
+		firstCode SubmitCode
+	)
+	seen := make(map[string]bool, len(norms))
+	for i := range norms {
+		st, code, err := s.submitLocked(t, norms[i], hashes[i])
+		switch code {
+		case SubmitCreated, SubmitCoalesced, SubmitCacheHit:
+			// Duplicate sweep points coalesce to one job; count it once.
+			if !seen[st.ID] {
+				seen[st.ID] = true
+				arr.jobIDs = append(arr.jobIDs, st.ID)
+			}
+		default:
+			arr.rejected++
+			if firstErr == nil {
+				firstErr, firstCode = err, code
+			}
+		}
+	}
+	s.arrays[arr.id] = arr
+	status := s.arrayStatusLocked(arr)
+	if len(arr.jobIDs) == 0 && firstErr != nil {
+		return status, firstCode, firstErr
+	}
+	return status, SubmitCreated, nil
+}
+
+// ArrayStatus returns a sweep's aggregate status.
+func (s *Scheduler) ArrayStatus(id string) (ArrayStatus, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	arr, ok := s.arrays[id]
+	if !ok {
+		return ArrayStatus{}, false
+	}
+	return s.arrayStatusLocked(arr), true
+}
+
+func (s *Scheduler) arrayStatusLocked(arr *Array) ArrayStatus {
+	st := ArrayStatus{
+		ID:       arr.id,
+		Tenant:   arr.tenant,
+		Total:    len(arr.jobIDs) + arr.rejected,
+		Admitted: len(arr.jobIDs),
+		Rejected: arr.rejected,
+		States:   make(map[string]int, 4),
+		Done:     true,
+	}
+	for _, id := range arr.jobIDs {
+		j, ok := s.jobs[id]
+		if !ok {
+			continue
+		}
+		js := j.statusLocked()
+		st.Jobs = append(st.Jobs, js)
+		st.States[js.State]++
+		switch js.State {
+		case StateDone:
+			if j.result != nil {
+				if st.Results == nil {
+					st.Results = make(map[string]Result)
+				}
+				st.Results[id] = *j.result
+			}
+		case StateQueued, StateRunning:
+			st.Done = false
+		}
+	}
+	sort.Slice(st.Jobs, func(i, k int) bool { return st.Jobs[i].ID < st.Jobs[k].ID })
+	return st
+}

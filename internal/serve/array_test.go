@@ -1,0 +1,194 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestArrayExpandDeterministic(t *testing.T) {
+	as := ArraySpec{
+		Template:     JobSpec{Cells: 3, Steps: 5},
+		Seeds:        []int64{1, 2},
+		Temperatures: []float64{100, 200},
+		Steps:        []int{5, 10},
+	}
+	got := as.expand()
+	if len(got) != 8 {
+		t.Fatalf("expanded to %d points, want 8", len(got))
+	}
+	// Axis-major: seeds outermost, steps innermost.
+	want := []JobSpec{
+		{Cells: 3, Seed: 1, Temperature: 100, Steps: 5},
+		{Cells: 3, Seed: 1, Temperature: 100, Steps: 10},
+		{Cells: 3, Seed: 1, Temperature: 200, Steps: 5},
+		{Cells: 3, Seed: 1, Temperature: 200, Steps: 10},
+		{Cells: 3, Seed: 2, Temperature: 100, Steps: 5},
+		{Cells: 3, Seed: 2, Temperature: 100, Steps: 10},
+		{Cells: 3, Seed: 2, Temperature: 200, Steps: 5},
+		{Cells: 3, Seed: 2, Temperature: 200, Steps: 10},
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("point %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	// Empty axes keep the template's values: one point.
+	single := ArraySpec{Template: JobSpec{Cells: 3, Steps: 7, Seed: 9}}.expand()
+	if len(single) != 1 || single[0] != (JobSpec{Cells: 3, Steps: 7, Seed: 9}) {
+		t.Errorf("empty-axes expansion = %+v, want the template alone", single)
+	}
+}
+
+func TestArrayDuplicatePointsCoalesce(t *testing.T) {
+	sched, err := NewScheduler(Options{MaxJobs: 1, Queue: 32, CPU: 1, CheckEvery: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = sched.Drain() }()
+	st, code, err := sched.SubmitArray(nil, ArraySpec{
+		Template: JobSpec{Cells: 3, Steps: 5},
+		Seeds:    []int64{4, 4, 4, 5},
+	})
+	if err != nil || code != SubmitCreated {
+		t.Fatalf("submit: code %v err %v", code, err)
+	}
+	if st.Admitted != 2 {
+		t.Fatalf("4 points with 3 duplicates admitted %d jobs, want 2", st.Admitted)
+	}
+	if st.Rejected != 0 {
+		t.Errorf("Rejected = %d, want 0 (duplicates are not rejections)", st.Rejected)
+	}
+}
+
+func TestArrayCapAndInvalidPointRejected(t *testing.T) {
+	sched, err := NewScheduler(Options{MaxJobs: 1, Queue: 32, CPU: 1, CheckEvery: 10, MaxArrayJobs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = sched.Drain() }()
+	seeds := make([]int64, 5)
+	for i := range seeds {
+		seeds[i] = int64(i + 1)
+	}
+	if _, code, err := sched.SubmitArray(nil, ArraySpec{
+		Template: JobSpec{Cells: 3, Steps: 5}, Seeds: seeds,
+	}); code != SubmitInvalid || err == nil {
+		t.Fatalf("over-cap array: code %v err %v, want SubmitInvalid", code, err)
+	}
+	// One bad point (negative steps) rejects the whole sweep before any
+	// job is created.
+	if _, code, err := sched.SubmitArray(nil, ArraySpec{
+		Template: JobSpec{Cells: 3, Steps: 5}, Steps: []int{5, -1},
+	}); code != SubmitInvalid || err == nil {
+		t.Fatalf("invalid point: code %v err %v, want SubmitInvalid", code, err)
+	}
+	if c := sched.Counters(); c.Submitted != 0 {
+		t.Fatalf("Submitted = %d after two rejected arrays, want 0", c.Submitted)
+	}
+}
+
+func TestArrayPartialQuotaRejection(t *testing.T) {
+	tenants, err := NewTenantSet([]Tenant{{Name: "tight", Key: "kt", MaxQueued: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := NewScheduler(Options{MaxJobs: 1, Queue: 32, CPU: 1, CheckEvery: 25, Tenants: tenants})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = sched.Drain() }()
+	// The whole sweep is admitted under one lock hold, so no point has
+	// dispatched yet: max_queued 2 admits exactly two of five points
+	// and the rest bounce off the quota while the global queue (32) has
+	// room to spare.
+	st, code, err := sched.SubmitArray(tenants.ByName("tight"), ArraySpec{
+		Template: JobSpec{Cells: 3, Steps: 500_000},
+		Seeds:    []int64{1, 2, 3, 4, 5},
+	})
+	if err != nil || code != SubmitCreated {
+		t.Fatalf("submit: code %v err %v", code, err)
+	}
+	if st.Admitted != 2 || st.Rejected != 3 {
+		t.Fatalf("admitted %d rejected %d, want 2 admitted and 3 rejected (max_queued 2)", st.Admitted, st.Rejected)
+	}
+	tc := sched.TenantCounters()
+	if tc["tight"].QuotaRejected != 3 {
+		t.Errorf("tenant QuotaRejected = %d, want 3", tc["tight"].QuotaRejected)
+	}
+}
+
+// TestArrayHTTPRoundTrip drives the sweep through the HTTP API: POST
+// the array, poll the aggregate endpoint until done, and check every
+// member's result is present and keyed by job ID.
+func TestArrayHTTPRoundTrip(t *testing.T) {
+	base, _ := startTestServer(t, Options{MaxJobs: 2, Queue: 32, CPU: 1, CheckEvery: 10})
+	body, err := json.Marshal(ArraySpec{
+		Template: JobSpec{Cells: 3, Steps: 5},
+		Seeds:    []int64{1, 2, 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/arrays", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st ArrayStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("POST /arrays: status %d", resp.StatusCode)
+	}
+	if st.Total != 3 || st.Admitted != 3 || !strings.HasPrefix(st.ID, "a") {
+		t.Fatalf("created array %+v", st)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get(base + "/arrays/" + st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var agg ArrayStatus
+		if err := json.NewDecoder(resp.Body).Decode(&agg); err != nil {
+			t.Fatal(err)
+		}
+		_ = resp.Body.Close()
+		if agg.Done {
+			if agg.States[StateDone] != 3 {
+				t.Fatalf("done array states %v, want 3 done", agg.States)
+			}
+			if len(agg.Results) != 3 {
+				t.Fatalf("done array has %d results, want 3", len(agg.Results))
+			}
+			for _, js := range agg.Jobs {
+				res, ok := agg.Results[js.ID]
+				if !ok {
+					t.Fatalf("member %s missing from results", js.ID)
+				}
+				if res.Steps <= 0 {
+					t.Errorf("member %s result has no steps: %+v", js.ID, res)
+				}
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("array never finished: %+v", agg)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// Unknown array IDs are a clean 404.
+	resp, err = http.Get(base + "/arrays/a9999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET unknown array: status %d, want 404", resp.StatusCode)
+	}
+}

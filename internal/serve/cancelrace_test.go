@@ -1,0 +1,189 @@
+package serve
+
+import (
+	"os"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCancelHammerAtDispatchBoundary is the regression test for the
+// cancel/dispatch race: a Cancel that lands exactly while the worker is
+// moving the job from queued to running must either withdraw it before
+// it starts or stop the running simulation — never be lost. The old
+// code created the job context after releasing the lock, leaving a
+// window where Cancel saw StateRunning with a nil cancel func. Run
+// with -race; the hammer also shakes out dispatch-path data races.
+func TestCancelHammerAtDispatchBoundary(t *testing.T) {
+	sched, err := NewScheduler(Options{MaxJobs: 2, Queue: 256, CPU: 1, CheckEvery: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = sched.Drain() }()
+
+	const rounds = 120
+	ids := make([]string, 0, rounds)
+	var wg sync.WaitGroup
+	for i := 0; i < rounds; i++ {
+		// Distinct seeds (zero normalizes to 1, so start at 1) defeat
+		// the content-addressed cache so every round actually queues;
+		// long jobs so cancels land in flight.
+		st, code, err := sched.Submit(JobSpec{Cells: 3, Steps: 200_000, Seed: int64(i + 1)})
+		if err != nil || code != SubmitCreated {
+			t.Fatalf("round %d: code %v err %v", i, code, err)
+		}
+		ids = append(ids, st.ID)
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			// No sleep: racing the dispatch boundary is the point.
+			if _, ok := sched.Cancel(id); !ok {
+				t.Errorf("cancel %s: job unknown", id)
+			}
+		}(st.ID)
+	}
+	wg.Wait()
+
+	deadline := time.Now().Add(60 * time.Second)
+	for _, id := range ids {
+		for {
+			st, ok := sched.Get(id)
+			if !ok {
+				t.Fatalf("job %s vanished", id)
+			}
+			if st.State == StateCanceled {
+				break
+			}
+			if st.State == StateDone || st.State == StateFailed {
+				t.Fatalf("job %s reached %s after an acknowledged cancel — the cancel was lost", id, st.State)
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s stuck in %s after cancel", id, st.State)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	c := sched.Counters()
+	if c.Canceled != rounds {
+		t.Errorf("Canceled = %d, want %d", c.Canceled, rounds)
+	}
+}
+
+// TestCancelInterruptedWithdrawsResume: canceling a drain-interrupted
+// job must delete its manifest so a restarted scheduler does not
+// resurrect it.
+func TestCancelInterruptedWithdrawsResume(t *testing.T) {
+	dir := t.TempDir()
+	sched, err := NewScheduler(Options{MaxJobs: 1, Queue: 8, CPU: 1, CheckEvery: 10, StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, code, err := sched.Submit(JobSpec{Cells: 3, Steps: 500_000, Seed: 77})
+	if err != nil || code != SubmitCreated {
+		t.Fatalf("submit: code %v err %v", code, err)
+	}
+	waitJobState(t, sched, st.ID, StateRunning)
+	if err := sched.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := sched.Get(st.ID)
+	if got.State != StateInterrupted {
+		t.Fatalf("state after drain = %s, want interrupted", got.State)
+	}
+	if _, err := os.Stat(sched.manifestPath(st.ID)); err != nil {
+		t.Fatalf("no manifest after drain: %v", err)
+	}
+
+	if _, ok := sched.Cancel(st.ID); !ok {
+		t.Fatal("cancel lookup failed")
+	}
+	got, _ = sched.Get(st.ID)
+	if got.State != StateCanceled {
+		t.Fatalf("state after cancel = %s, want canceled", got.State)
+	}
+	if _, err := os.Stat(sched.manifestPath(st.ID)); !os.IsNotExist(err) {
+		t.Fatalf("manifest survives cancel (err=%v) — a restart would resume a canceled job", err)
+	}
+
+	sched2, err := NewScheduler(Options{MaxJobs: 1, Queue: 8, CPU: 1, CheckEvery: 10, StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = sched2.Drain() }()
+	if c := sched2.Counters(); c.Resumed != 0 {
+		t.Fatalf("restart resumed %d jobs, want 0", c.Resumed)
+	}
+}
+
+// TestCancelIdempotentAcrossStates: a second cancel on any already-
+// canceled or terminal job is a no-op that still reports the job.
+func TestCancelIdempotentAcrossStates(t *testing.T) {
+	sched, err := NewScheduler(Options{MaxJobs: 1, Queue: 8, CPU: 1, CheckEvery: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = sched.Drain() }()
+
+	done, code, err := sched.Submit(JobSpec{Cells: 3, Steps: 10, Seed: 81})
+	if err != nil || code != SubmitCreated {
+		t.Fatalf("submit: code %v err %v", code, err)
+	}
+	waitJobState(t, sched, done.ID, StateDone)
+	for i := 0; i < 2; i++ {
+		st, ok := sched.Cancel(done.ID)
+		if !ok || st.State != StateDone {
+			t.Fatalf("cancel %d of done job: ok=%v state=%s, want no-op", i, ok, st.State)
+		}
+	}
+	c := sched.Counters()
+	if c.Canceled != 0 {
+		t.Fatalf("Canceled = %d after canceling a done job, want 0", c.Canceled)
+	}
+
+	run, code, err := sched.Submit(JobSpec{Cells: 3, Steps: 500_000, Seed: 82})
+	if err != nil || code != SubmitCreated {
+		t.Fatalf("submit: code %v err %v", code, err)
+	}
+	waitJobState(t, sched, run.ID, StateRunning)
+	if _, ok := sched.Cancel(run.ID); !ok {
+		t.Fatal("cancel running job failed")
+	}
+	waitJobState(t, sched, run.ID, StateCanceled)
+	if st, ok := sched.Cancel(run.ID); !ok || st.State != StateCanceled {
+		t.Fatalf("re-cancel: ok=%v state=%s", ok, st.State)
+	}
+	if c := sched.Counters(); c.Canceled != 1 {
+		t.Fatalf("Canceled = %d after double cancel, want 1", c.Canceled)
+	}
+}
+
+// waitJobState polls until the job reaches the wanted state, failing
+// fast on unexpected terminal states.
+func waitJobState(t *testing.T, sched *Scheduler, id string, want string) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		st, ok := sched.Get(id)
+		if !ok {
+			t.Fatalf("job %s unknown", id)
+		}
+		if st.State == want {
+			return
+		}
+		if terminal(st.State) && st.State != want {
+			t.Fatalf("job %s reached %s waiting for %s (err=%q)", id, st.State, want, st.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s waiting for %s", id, st.State, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func terminal(s string) bool {
+	switch s {
+	case StateDone, StateFailed, StateCanceled:
+		return true
+	}
+	return false
+}

@@ -259,14 +259,18 @@ type Status struct {
 	Steps int     `json:"steps"`
 	Error string  `json:"error,omitempty"`
 	Spec  JobSpec `json:"spec"`
+	// Tenant is the owning tenant's name ("anonymous" when tenancy is
+	// not configured).
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // Job is one admitted simulation. All mutable fields are guarded by
-// the owning scheduler's mutex.
+// the owning scheduler's mutex; the event log has its own leaf mutex.
 type Job struct {
-	id   string
-	hash string
-	spec JobSpec // normalized
+	id     string
+	hash   string
+	spec   JobSpec // normalized
+	tenant string  // owning tenant name
 
 	state   string
 	step    int
@@ -274,6 +278,10 @@ type Job struct {
 	result  *Result
 	rec     *telemetry.Recorder
 	created time.Time
+
+	// events is the per-job live feed behind GET /jobs/{id}/events:
+	// status transitions, progress ticks and telemetry stream lines.
+	events *eventLog
 
 	// cancel stops the running job with a cause (client cancel or
 	// drain); nil until the job starts.
@@ -288,12 +296,32 @@ type Job struct {
 // statusLocked snapshots the job; the scheduler mutex must be held.
 func (j *Job) statusLocked() Status {
 	return Status{
-		ID:    j.id,
-		State: j.state,
-		Hash:  j.hash,
-		Step:  j.step,
-		Steps: j.spec.Steps,
-		Error: j.errMsg,
-		Spec:  j.spec,
+		ID:     j.id,
+		State:  j.state,
+		Hash:   j.hash,
+		Step:   j.step,
+		Steps:  j.spec.Steps,
+		Error:  j.errMsg,
+		Spec:   j.spec,
+		Tenant: j.tenant,
+	}
+}
+
+// publishStatusLocked appends the job's current status to its event
+// feed; the scheduler mutex must be held (the event log's own mutex is
+// a leaf below it). Terminal states also close the feed so attached
+// SSE streams end cleanly — but the drain path closes the log earlier,
+// before the resume manifest is persisted, and publish-after-close is
+// a no-op, so ordering there is owned by the drain code.
+func (j *Job) publishStatusLocked() {
+	st := j.statusLocked()
+	b, err := json.Marshal(st)
+	if err != nil {
+		return // Status marshals from plain fields; unreachable
+	}
+	j.events.publish(EventStatus, b)
+	switch st.State {
+	case StateDone, StateFailed, StateCanceled, StateInterrupted:
+		j.events.closeLog()
 	}
 }

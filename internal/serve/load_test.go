@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRunLoadSmoke runs the traffic harness small: mixed tenants and
+// client modes against an in-process server. The run must settle every
+// submitted job, complete work for both tenants, drop no streams and
+// leak no errors.
+func TestRunLoadSmoke(t *testing.T) {
+	res, err := RunLoad(LoadOptions{Clients: 24, Duration: 400 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Errorf("load run logged %d errors", res.Errors)
+	}
+	if res.Completed == 0 {
+		t.Fatal("no jobs completed")
+	}
+	if res.Submits == 0 || res.Admitted == 0 {
+		t.Fatalf("no traffic flowed: %+v", res)
+	}
+	if res.StreamsOpened == 0 {
+		t.Error("stream-mode clients opened no streams")
+	}
+	if res.StreamDropRate != 0 {
+		t.Errorf("stream drop rate %.3f, want 0 (streams must see a terminal event)", res.StreamDropRate)
+	}
+	if res.TenantCompleted["gold"] == 0 {
+		t.Errorf("gold tenant completed nothing: %+v", res.TenantCompleted)
+	}
+	if res.P95Ms < res.P50Ms || res.P99Ms < res.P95Ms {
+		t.Errorf("percentiles out of order: p50 %.1f p95 %.1f p99 %.1f", res.P50Ms, res.P95Ms, res.P99Ms)
+	}
+	if res.JobsPerSec <= 0 || res.CompletionRate <= 0 || res.CompletionRate > 1 {
+		t.Errorf("implausible rates: %+v", res)
+	}
+
+	// A run diffed against itself passes any tolerance.
+	if err := CompareLoadBaseline(&res, &res, 0.01); err != nil {
+		t.Errorf("self-baseline diff failed: %v", err)
+	}
+
+	// JSON round trip preserves the rate fields the baseline diff reads.
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadLoadResult(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.CompletionRate != res.CompletionRate || back.Rate429 != res.Rate429 ||
+		back.StreamDropRate != res.StreamDropRate || back.Completed != res.Completed {
+		t.Errorf("round trip mangled rates: %+v vs %+v", back, res)
+	}
+
+	var out strings.Builder
+	if err := res.Render(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "jobs/s") {
+		t.Errorf("render output missing throughput line:\n%s", out.String())
+	}
+}
+
+// TestCompareLoadBaselineDetectsDrift: rates drifting past the
+// absolute tolerance fail the diff with the offending metric named.
+func TestCompareLoadBaselineDetectsDrift(t *testing.T) {
+	base := &LoadResult{Completed: 100, CompletionRate: 0.90, Rate429: 0.10, StreamDropRate: 0}
+	ok := &LoadResult{Completed: 90, CompletionRate: 0.85, Rate429: 0.15, StreamDropRate: 0.02}
+	if err := CompareLoadBaseline(ok, base, 0.10); err != nil {
+		t.Errorf("within-tolerance run failed: %v", err)
+	}
+	cases := []struct {
+		name string
+		res  LoadResult
+		want string
+	}{
+		{"completion collapse", LoadResult{Completed: 10, CompletionRate: 0.30, Rate429: 0.10}, "completion_rate"},
+		{"429 explosion", LoadResult{Completed: 90, CompletionRate: 0.90, Rate429: 0.50}, "rate_429"},
+		{"stream drops", LoadResult{Completed: 90, CompletionRate: 0.90, Rate429: 0.10, StreamDropRate: 0.40}, "stream_drop_rate"},
+		{"nothing completed", LoadResult{Completed: 0, CompletionRate: 0.90, Rate429: 0.10}, "completed"},
+	}
+	for _, c := range cases {
+		err := CompareLoadBaseline(&c.res, base, 0.10)
+		if err == nil {
+			t.Errorf("%s: drift accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not name %s", c.name, err, c.want)
+		}
+	}
+}
+
+func TestReadLoadResultRejectsGarbage(t *testing.T) {
+	if _, err := ReadLoadResult(strings.NewReader("{")); err == nil {
+		t.Error("truncated JSON accepted")
+	}
+	if _, err := ReadLoadResult(strings.NewReader(`{"unknown_field": 1}`)); err == nil {
+		t.Error("unknown fields accepted — baseline files must match the schema")
+	}
+}

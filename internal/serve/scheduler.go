@@ -59,6 +59,19 @@ type Options struct {
 	// through to it, and Submit consults it after an in-memory cache
 	// miss so cache hits survive restarts.
 	Store *store.Store
+	// Tenants, when non-nil, enables tenancy: API keys, per-tenant
+	// quotas and weighted fair-share dispatch. Without it every job
+	// runs as the built-in anonymous tenant with unlimited quotas.
+	Tenants *TenantSet
+	// StreamEvery is the cadence of per-job telemetry events on the
+	// GET /jobs/{id}/events feed (default 250ms).
+	StreamEvery time.Duration
+	// Heartbeat is the SSE comment-line cadence keeping idle streams
+	// alive through proxies (default 15s).
+	Heartbeat time.Duration
+	// MaxArrayJobs caps how many jobs one array submission may expand
+	// to (default 64).
+	MaxArrayJobs int
 }
 
 func (o Options) withDefaults() Options {
@@ -73,6 +86,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.CheckEvery <= 0 {
 		o.CheckEvery = 50
+	}
+	if o.StreamEvery <= 0 {
+		o.StreamEvery = 250 * time.Millisecond
+	}
+	if o.Heartbeat <= 0 {
+		o.Heartbeat = 15 * time.Second
+	}
+	if o.MaxArrayJobs <= 0 {
+		o.MaxArrayJobs = 64
 	}
 	return o
 }
@@ -90,34 +112,55 @@ type Counters struct {
 	CacheHits int `json:"cache_hits"`
 	Coalesced int `json:"coalesced"`
 	Resumed   int `json:"resumed"`
+	// QuotaRejected counts submissions refused by a tenant quota
+	// (429s that are the tenant's budget, not global backpressure).
+	QuotaRejected int `json:"quota_rejected"`
 	// StoreHits counts cache hits served from the durable store after
 	// the in-memory cache missed (typically across a restart).
 	StoreHits int `json:"store_hits"`
 	// BadManifests counts corrupt drain manifests quarantined at
 	// startup instead of failing the boot.
 	BadManifests int `json:"bad_manifests"`
+	// StreamsOpened counts SSE event streams accepted; ClientAborts
+	// and ServerErrors split HTTP write failures by whose fault they
+	// were (the peer vanished vs the server could not render).
+	StreamsOpened int `json:"streams_opened"`
+	ClientAborts  int `json:"client_aborts"`
+	ServerErrors  int `json:"server_errors"`
 }
 
 // Scheduler multiplexes simulation jobs over a fixed set of shard
-// workers. Admission is a bounded queue (backpressure, not unbounded
-// buffering); identical specs are deduplicated in flight (singleflight)
-// and served from a content-addressed result cache once completed.
+// workers. Admission is bounded (backpressure, not unbounded
+// buffering); dispatch is weighted fair-share across tenants; identical
+// specs are deduplicated in flight (singleflight) and served from a
+// content-addressed result cache once completed.
 type Scheduler struct {
 	opts  Options
 	start time.Time
 
-	mu       sync.Mutex
-	jobs     map[string]*Job
-	byHash   map[string]*Job   // live (queued/running) job per content hash
-	cache    map[string]Result // completed results per content hash
-	queue    chan *Job
-	counters Counters
-	draining bool
-	nextID   int
-	// recentDurs is a ring of the last durWindow job wall durations in
-	// seconds, feeding the Retry-After backpressure hint. durCount is
-	// the lifetime total recorded (the ring index is durCount mod
-	// durWindow).
+	mu     sync.Mutex
+	cond   *sync.Cond // signaled on enqueue, job completion and drain
+	jobs   map[string]*Job
+	byHash map[string]*Job   // live (queued/running) job per content hash
+	cache  map[string]Result // completed results per content hash
+	// pending holds each tenant's FIFO of admitted jobs; queued is the
+	// total count of non-withdrawn entries across all tenants.
+	pending map[string][]*Job
+	queued  int
+	tstates map[string]*tenantState
+	arrays  map[string]*Array
+	// streamsActive gauges currently-attached SSE clients.
+	streamsActive int
+	counters      Counters
+	draining      bool
+	nextID        int
+	nextArrayID   int
+	// recentDurs is a ring of the last durWindow executed-job wall
+	// durations in seconds, feeding the Retry-After backpressure hint.
+	// Only jobs that actually occupied a shard contribute: cache and
+	// store hits complete in microseconds at Submit and would poison
+	// the mean. durCount is the lifetime total recorded (the ring index
+	// is durCount mod durWindow).
 	recentDurs [durWindow]float64
 	durCount   int
 
@@ -141,6 +184,9 @@ const (
 	// SubmitQueueFull: the admission queue is full — back off and
 	// retry.
 	SubmitQueueFull
+	// SubmitQuotaExceeded: the tenant is over one of its own quotas;
+	// the error is a *QuotaError carrying a quota-scoped Retry-After.
+	SubmitQuotaExceeded
 	// SubmitDraining: the server is shutting down.
 	SubmitDraining
 )
@@ -151,12 +197,16 @@ const (
 func NewScheduler(opts Options) (*Scheduler, error) {
 	opts = opts.withDefaults()
 	s := &Scheduler{
-		opts:   opts,
-		start:  time.Now(),
-		jobs:   make(map[string]*Job),
-		byHash: make(map[string]*Job),
-		cache:  make(map[string]Result),
+		opts:    opts,
+		start:   time.Now(),
+		jobs:    make(map[string]*Job),
+		byHash:  make(map[string]*Job),
+		cache:   make(map[string]Result),
+		pending: make(map[string][]*Job),
+		tstates: make(map[string]*tenantState),
+		arrays:  make(map[string]*Array),
 	}
+	s.cond = sync.NewCond(&s.mu)
 	var resumed []*Job
 	if opts.StateDir != "" {
 		if err := os.MkdirAll(opts.StateDir, 0o755); err != nil {
@@ -167,15 +217,18 @@ func NewScheduler(opts Options) (*Scheduler, error) {
 			return nil, err
 		}
 	}
-	// Queue capacity covers the configured backlog plus every resumed
-	// job, so restart re-admission can never be rejected.
-	s.queue = make(chan *Job, opts.Queue+len(resumed))
+	// Resumed jobs bypass the Queue capacity check: restart
+	// re-admission must never be rejected.
+	s.mu.Lock()
 	for _, j := range resumed {
 		s.jobs[j.id] = j
 		s.byHash[j.hash] = j
 		s.counters.Resumed++
-		s.queue <- j
+		s.tenantStateLocked(j.tenant)
+		s.enqueueLocked(j)
+		j.publishStatusLocked()
 	}
+	s.mu.Unlock()
 	for i := 0; i < opts.MaxJobs; i++ {
 		s.wg.Add(1)
 		// Shard workers are scheduler control plane: each runs whole
@@ -184,6 +237,27 @@ func NewScheduler(opts Options) (*Scheduler, error) {
 		go s.worker()
 	}
 	return s, nil
+}
+
+// resolveTenant maps a manifest tenant name back to a live tenant:
+// registered name, or the anonymous fallback when tenancy is off or
+// the tenants file no longer lists it (the job still must resume).
+func (s *Scheduler) resolveTenant(name string) *Tenant {
+	if t := s.opts.Tenants.ByName(name); t != nil {
+		return t
+	}
+	return anonymous()
+}
+
+// tenantStateLocked returns (creating on first use) a tenant's runtime
+// state; the mutex must be held.
+func (s *Scheduler) tenantStateLocked(name string) *tenantState {
+	if ts, ok := s.tstates[name]; ok {
+		return ts
+	}
+	ts := newTenantState(s.resolveTenant(name), time.Now())
+	s.tstates[name] = ts
+	return ts
 }
 
 // scanManifests loads drain manifests left by a previous process,
@@ -225,9 +299,11 @@ func (s *Scheduler) scanManifests() ([]*Job, error) {
 			id:      m.ID,
 			hash:    m.Hash,
 			spec:    m.Spec,
+			tenant:  s.resolveTenant(m.Tenant).Name,
 			state:   StateQueued,
 			step:    m.Step,
 			created: time.Now(),
+			events:  newEventLog(),
 		}
 		if m.Checkpoint != "" {
 			j.resumeFrom = m.Checkpoint
@@ -258,6 +334,9 @@ type manifest struct {
 	ID   string  `json:"id"`
 	Hash string  `json:"hash"`
 	Spec JobSpec `json:"spec"`
+	// Tenant is the owning tenant's name; the restarted server maps it
+	// back through its tenants file (anonymous when unknown).
+	Tenant string `json:"tenant,omitempty"`
 	// Step is the absolute step the checkpoint holds (0 when the job
 	// never started).
 	Step int `json:"step"`
@@ -302,9 +381,20 @@ func (s *Scheduler) removeStateFiles(id string) {
 	}
 }
 
-// Submit validates, normalizes and admits one job. The returned code
-// tells the transport layer which HTTP status to map it to.
+// Submit admits one job as the anonymous tenant — the path used when
+// tenancy is not configured.
 func (s *Scheduler) Submit(spec JobSpec) (Status, SubmitCode, error) {
+	return s.SubmitAs(nil, spec)
+}
+
+// SubmitAs validates, normalizes and admits one job for a tenant (nil
+// means anonymous). The returned code tells the transport layer which
+// HTTP status to map it to; a SubmitQuotaExceeded error is a
+// *QuotaError carrying the quota-scoped Retry-After hint.
+func (s *Scheduler) SubmitAs(t *Tenant, spec JobSpec) (Status, SubmitCode, error) {
+	if t == nil {
+		t = anonymous()
+	}
 	norm, err := spec.normalized(s.opts.CPU, s.opts.MaxJobs)
 	if err != nil {
 		return Status{}, SubmitInvalid, err
@@ -315,9 +405,16 @@ func (s *Scheduler) Submit(spec JobSpec) (Status, SubmitCode, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.submitLocked(t, norm, h)
+}
+
+// submitLocked is the admission core, shared with array expansion; the
+// mutex must be held and the spec already normalized and hashed.
+func (s *Scheduler) submitLocked(t *Tenant, norm JobSpec, h string) (Status, SubmitCode, error) {
 	if s.draining {
 		return Status{}, SubmitDraining, errors.New("serve: draining, not accepting jobs")
 	}
+	ts := s.tenantStateLocked(t.Name)
 	res, hit := s.cache[h]
 	if !hit && s.opts.Store != nil {
 		// Memory miss: the durable store may still hold the result from
@@ -335,14 +432,18 @@ func (s *Scheduler) Submit(spec JobSpec) (Status, SubmitCode, error) {
 	}
 	if hit {
 		// Content-addressed cache hit: materialize a done job backed by
-		// the stored result; no simulation runs.
-		j := s.newJobLocked(norm, h)
+		// the stored result; no simulation runs, no quota is consumed,
+		// and — deliberately — no entry joins the duration ring: a
+		// microsecond "job" would poison the Retry-After mean.
+		j := s.newJobLocked(t.Name, norm, h)
 		res.Cached = true
 		res.WallSeconds = 0
 		j.result = &res
 		j.state = StateDone
 		j.step = norm.Steps
 		s.counters.CacheHits++
+		ts.counters.CacheHits++
+		j.publishStatusLocked()
 		return j.statusLocked(), SubmitCacheHit, nil
 	}
 	if live, ok := s.byHash[h]; ok {
@@ -350,26 +451,118 @@ func (s *Scheduler) Submit(spec JobSpec) (Status, SubmitCode, error) {
 		s.counters.Coalesced++
 		return live.statusLocked(), SubmitCoalesced, nil
 	}
-	j := s.newJobLocked(norm, h)
-	select {
-	case s.queue <- j:
-	default:
-		delete(s.jobs, j.id)
-		s.counters.Rejected++
-		return Status{}, SubmitQueueFull, fmt.Errorf("serve: admission queue full (%d queued)", cap(s.queue))
+	// Tenant quotas first: a tenant at quota gets a quota-scoped hint
+	// even when the global queue is empty. The global capacity check
+	// follows for tenants within budget.
+	if err := ts.admitLocked(norm.Steps, time.Now(), s.meanDurLocked()); err != nil {
+		s.counters.QuotaRejected++
+		ts.counters.QuotaRejected++
+		return Status{}, SubmitQuotaExceeded, err
 	}
+	if s.queued >= s.opts.Queue {
+		s.counters.Rejected++
+		return Status{}, SubmitQueueFull, fmt.Errorf("serve: admission queue full (%d queued)", s.queued)
+	}
+	j := s.newJobLocked(t.Name, norm, h)
 	j.state = StateQueued
 	s.byHash[h] = j
+	s.enqueueLocked(j)
 	s.counters.Submitted++
+	ts.counters.Submitted++
+	j.publishStatusLocked()
 	return j.statusLocked(), SubmitCreated, nil
 }
 
 // newJobLocked allocates and registers a job; the mutex must be held.
-func (s *Scheduler) newJobLocked(spec JobSpec, hash string) *Job {
+func (s *Scheduler) newJobLocked(tenant string, spec JobSpec, hash string) *Job {
 	id := fmt.Sprintf("j%06d", s.nextID)
 	s.nextID++
-	j := &Job{id: id, hash: hash, spec: spec, created: time.Now()}
+	j := &Job{id: id, hash: hash, spec: spec, tenant: tenant,
+		created: time.Now(), events: newEventLog()}
 	s.jobs[id] = j
+	return j
+}
+
+// enqueueLocked appends a job to its tenant's pending queue and wakes
+// one worker. A tenant going from idle to ready has its fair-share
+// pass pulled up to the active minimum so accumulated idle credit
+// cannot starve everyone else with a burst.
+func (s *Scheduler) enqueueLocked(j *Job) {
+	ts := s.tstates[j.tenant]
+	if len(s.pending[j.tenant]) == 0 {
+		if mp, ok := s.minActivePassLocked(); ok && ts.pass < mp {
+			ts.pass = mp
+		}
+	}
+	s.pending[j.tenant] = append(s.pending[j.tenant], j)
+	s.queued++
+	ts.counters.Queued++
+	s.cond.Signal()
+}
+
+// minActivePassLocked is the smallest pass among tenants with pending
+// work; false when none have any.
+func (s *Scheduler) minActivePassLocked() (float64, bool) {
+	lo, ok := 0.0, false
+	for name, q := range s.pending {
+		if len(q) == 0 {
+			continue
+		}
+		ts := s.tstates[name]
+		if !ok || ts.pass < lo {
+			lo, ok = ts.pass, true
+		}
+	}
+	return lo, ok
+}
+
+// nextJobLocked picks the next job to dispatch under weighted
+// fair-share: among tenants with pending work and a free MaxRunning
+// slot, the one with the lowest stride pass wins (name-ordered
+// tie-break, so dispatch order is deterministic). Withdrawn (skip)
+// jobs are discarded in passing — their bookkeeping was already
+// settled by Cancel/Drain. Returns nil when nothing is dispatchable.
+func (s *Scheduler) nextJobLocked() *Job {
+	names := make([]string, 0, len(s.pending))
+	for name := range s.pending {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var (
+		best     *tenantState
+		bestName string
+	)
+	for _, name := range names {
+		q := s.pending[name]
+		for len(q) > 0 && q[0].skip {
+			q = q[1:]
+		}
+		if len(q) == 0 {
+			delete(s.pending, name)
+			continue
+		}
+		s.pending[name] = q
+		ts := s.tstates[name]
+		if mr := ts.tenant.MaxRunning; mr > 0 && ts.counters.Running >= mr {
+			continue
+		}
+		if best == nil || ts.pass < best.pass {
+			best, bestName = ts, name
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	q := s.pending[bestName]
+	j := q[0]
+	if len(q) == 1 {
+		delete(s.pending, bestName)
+	} else {
+		s.pending[bestName] = q[1:]
+	}
+	s.queued--
+	best.counters.Queued--
+	best.pass += strideUnit / float64(best.tenant.Weight)
 	return j
 }
 
@@ -382,6 +575,17 @@ func (s *Scheduler) Get(id string) (Status, bool) {
 		return Status{}, false
 	}
 	return j.statusLocked(), true
+}
+
+// Events returns a job's event log for SSE tailing.
+func (s *Scheduler) Events(id string) (*eventLog, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	return j.events, true
 }
 
 // Result returns a job's result when it is done.
@@ -398,9 +602,25 @@ func (s *Scheduler) Result(id string) (Result, Status, bool) {
 	return Result{}, j.statusLocked(), true
 }
 
-// Cancel stops a job: a queued job is withdrawn before it starts, a
-// running one has its context canceled so the integrator stops within
-// one MD step. Terminal jobs are left untouched (idempotent).
+// Owner reports which tenant a job belongs to.
+func (s *Scheduler) Owner(id string) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return "", false
+	}
+	return j.tenant, true
+}
+
+// Cancel stops a job in any non-terminal state: a queued job is
+// withdrawn before it starts, a running one has its context canceled
+// so the integrator stops within one MD step, and an interrupted one
+// (drained, awaiting restart) has its resume manifest removed so it
+// never comes back. The dispatch path transitions queued→running with
+// the context created in the same critical section, so there is no
+// window where a cancel can fall between the two and be lost.
+// Terminal jobs are left untouched (idempotent).
 func (s *Scheduler) Cancel(id string) (Status, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -414,45 +634,85 @@ func (s *Scheduler) Cancel(id string) (Status, bool) {
 		j.state = StateCanceled
 		j.errMsg = "canceled while queued"
 		delete(s.byHash, j.hash)
+		s.queued--
+		ts := s.tenantStateLocked(j.tenant)
+		ts.counters.Queued--
+		ts.counters.Canceled++
 		s.counters.Canceled++
+		j.publishStatusLocked()
 		s.removeStateFiles(j.id)
 	case StateRunning:
-		if j.cancel != nil {
-			j.cancel(errClientCancel)
-		}
+		// cancel is non-nil by construction: the worker sets it in the
+		// same critical section that publishes StateRunning.
+		j.cancel(errClientCancel)
+	case StateInterrupted:
+		j.state = StateCanceled
+		j.errMsg = "canceled after drain interrupt; resume withdrawn"
+		s.counters.Canceled++
+		s.tenantStateLocked(j.tenant).counters.Canceled++
+		j.publishStatusLocked()
+		s.removeStateFiles(j.id)
 	}
 	return j.statusLocked(), true
 }
 
-// worker is one shard: it drains the admission queue, running one job
-// at a time until the queue is closed by Drain.
+// worker is one shard: it waits for dispatchable work, claims one job
+// at a time, and exits once the scheduler drains.
 func (s *Scheduler) worker() {
 	defer s.wg.Done()
-	for j := range s.queue {
-		s.runJob(j)
+	for {
+		s.mu.Lock()
+		var j *Job
+		for {
+			if s.draining {
+				s.mu.Unlock()
+				return
+			}
+			if j = s.nextJobLocked(); j != nil {
+				break
+			}
+			s.cond.Wait()
+		}
+		// Atomic dispatch: the queued→running transition, the
+		// cancellable context and the telemetry recorder are all
+		// installed in one critical section. A Cancel arriving at any
+		// point either sees StateQueued (withdraws via skip before this
+		// pop) or StateRunning (cancels the context) — there is no
+		// in-between state where it could be lost.
+		ctx, cancel := context.WithCancelCause(context.Background())
+		j.cancel = cancel
+		j.state = StateRunning
+		j.rec = telemetry.NewRecorder()
+		s.tstates[j.tenant].counters.Running++
+		j.publishStatusLocked()
+		s.mu.Unlock()
+		s.runJob(ctx, cancel, j)
 	}
 }
 
-// runJob executes one job end to end and records its terminal state.
-func (s *Scheduler) runJob(j *Job) {
+// runJob executes one claimed job end to end and records its terminal
+// state. The caller (worker) has already transitioned it to running.
+func (s *Scheduler) runJob(ctx context.Context, cancel context.CancelCauseFunc, j *Job) {
+	defer cancel(nil)
 	s.mu.Lock()
-	if j.skip {
-		// Withdrawn while queued (client cancel or drain persistence);
-		// its state is already terminal.
-		s.mu.Unlock()
-		return
-	}
-	ctx, cancel := context.WithCancelCause(context.Background())
-	j.cancel = cancel
-	j.state = StateRunning
-	j.rec = telemetry.NewRecorder()
 	spec, resume, rec := j.spec, j.resumeFrom, j.rec
 	s.mu.Unlock()
-	defer cancel(nil)
+
+	// Tail the job's recorder onto its event feed for live SSE
+	// streaming; the streamer goroutine is joined by Close below.
+	str, serr := telemetry.StartStream(&eventWriter{log: j.events}, s.opts.StreamEvery, rec.Snapshot)
+	if serr != nil {
+		log.Printf("serve: job %s telemetry stream: %v", j.id, serr)
+	}
 
 	started := time.Now()
 	res, ckpt, runErr := s.execute(ctx, j, spec, resume, rec)
 	cause := context.Cause(ctx)
+	if str != nil {
+		// Join the streamer before the terminal transition so the final
+		// metrics event precedes the terminal status event.
+		_ = str.Close()
+	}
 	if runErr == nil {
 		res.WallSeconds = time.Since(started).Seconds()
 		// Durable write-through happens here, not in execute: the store
@@ -465,12 +725,14 @@ func (s *Scheduler) runJob(j *Job) {
 	defer s.mu.Unlock()
 	// Every executed job — done, failed or canceled — contributes its
 	// wall time to the Retry-After estimate: all of them occupied a
-	// shard for that long.
+	// shard for that long. Cache/store hits never reach here.
 	s.recentDurs[s.durCount%durWindow] = time.Since(started).Seconds()
 	s.durCount++
 	if live, ok := s.byHash[j.hash]; ok && live == j {
 		delete(s.byHash, j.hash)
 	}
+	ts := s.tenantStateLocked(j.tenant)
+	ts.counters.Running--
 	switch {
 	case runErr == nil:
 		j.state = StateDone
@@ -478,23 +740,31 @@ func (s *Scheduler) runJob(j *Job) {
 		j.step = res.Steps
 		s.cache[j.hash] = *res
 		s.counters.Completed++
+		ts.counters.Completed++
 		s.removeStateFiles(j.id)
 	case errors.Is(runErr, md.ErrCanceled) && errors.Is(cause, errDrain):
-		// execute already checkpointed the state and wrote the resume
-		// manifest; the restarted server picks the job up from there.
+		// execute already flushed the terminal event, checkpointed the
+		// state and wrote the resume manifest; the restarted server
+		// picks the job up from there.
 		j.state = StateInterrupted
 		j.errMsg = "interrupted by server drain; resumes on restart"
 	case errors.Is(runErr, md.ErrCanceled):
 		j.state = StateCanceled
 		j.errMsg = "canceled by client"
 		s.counters.Canceled++
+		ts.counters.Canceled++
 		s.removeStateFiles(j.id)
 	default:
 		j.state = StateFailed
 		j.errMsg = runErr.Error()
 		s.counters.Failed++
+		ts.counters.Failed++
 		s.removeStateFiles(j.id)
 	}
+	j.publishStatusLocked()
+	// A finished job may free a MaxRunning slot; waiting workers must
+	// re-evaluate their pick.
+	s.cond.Broadcast()
 }
 
 // storePut writes a completed result through to the durable store.
@@ -534,9 +804,12 @@ func (s *Scheduler) storePut(hash string, spec JobSpec, res *Result, ckpt []byte
 
 // execute runs the simulation under the guard supervisor, advancing the
 // job's visible step counter every CheckEvery steps. On a drain
-// cancellation it checkpoints the consistent post-cancel state and
-// persists the resume manifest before returning. On success it also
-// returns the final-state checkpoint encoding for the durable store.
+// cancellation it flushes a terminal event to attached streams, then
+// checkpoints the consistent post-cancel state and persists the resume
+// manifest — event strictly before manifest, so no client learns of
+// the restart promise before it is real from their stream's view. On
+// success it also returns the final-state checkpoint encoding for the
+// durable store.
 func (s *Scheduler) execute(ctx context.Context, j *Job, spec JobSpec, resume string, rec *telemetry.Recorder) (*Result, []byte, error) {
 	cfg, err := spec.mdConfig(rec)
 	if err != nil {
@@ -571,10 +844,11 @@ func (s *Scheduler) execute(ctx context.Context, j *Job, spec JobSpec, resume st
 		if rerr != nil {
 			if errors.Is(rerr, md.ErrCanceled) &&
 				errors.Is(context.Cause(ctx), errDrain) && pol.CheckpointPath != "" {
+				s.publishDrainInterrupt(j)
 				if cerr := sup.Checkpoint(); cerr != nil {
 					return nil, nil, fmt.Errorf("serve: drain checkpoint: %w", cerr)
 				}
-				m := manifest{ID: j.id, Hash: j.hash, Spec: spec,
+				m := manifest{ID: j.id, Hash: j.hash, Spec: spec, Tenant: j.tenant,
 					Step: sup.StepCount(), Checkpoint: pol.CheckpointPath}
 				if merr := s.writeManifest(m); merr != nil {
 					return nil, nil, merr
@@ -606,44 +880,84 @@ func (s *Scheduler) execute(ctx context.Context, j *Job, spec JobSpec, resume st
 	return res, ckpt, nil
 }
 
+// publishDrainInterrupt flushes the terminal "interrupted" event to a
+// running job's stream and closes the feed. The job's recorded state
+// still reads running until runJob's terminal transition; the event
+// carries the state the job is irrevocably headed for.
+func (s *Scheduler) publishDrainInterrupt(j *Job) {
+	s.mu.Lock()
+	st := j.statusLocked()
+	s.mu.Unlock()
+	st.State = StateInterrupted
+	st.Error = "interrupted by server drain; resumes on restart"
+	if b, err := json.Marshal(st); err == nil {
+		j.events.publish(EventStatus, b)
+	}
+	j.events.closeLog()
+}
+
 func (s *Scheduler) setStep(j *Job, step int) {
 	s.mu.Lock()
 	j.step = step
+	id := j.id
 	s.mu.Unlock()
+	b, err := json.Marshal(struct {
+		ID   string `json:"id"`
+		Step int    `json:"step"`
+	}{ID: id, Step: step})
+	if err == nil {
+		j.events.publish(EventProgress, b)
+	}
 }
 
-// Drain stops admission, withdraws queued jobs into resume manifests,
-// cancels running jobs with the drain cause (each checkpoints its
-// consistent state and writes its manifest), and waits for the shards
-// to finish. Safe to call more than once; later calls just wait.
+// Drain stops admission, withdraws queued jobs into resume manifests
+// (flushing a terminal event to any attached stream before each
+// manifest is persisted), cancels running jobs with the drain cause
+// (each flushes its own terminal event, checkpoints its consistent
+// state and writes its manifest), and waits for the shards to finish.
+// Safe to call more than once; later calls just wait.
 func (s *Scheduler) Drain() error {
 	s.mu.Lock()
 	var firstErr error
 	if !s.draining {
 		s.draining = true
+		// Withdraw queued jobs in ID order so manifest writes (and any
+		// first error) are deterministic.
+		var queued []*Job
 		for _, j := range s.jobs {
-			switch j.state {
-			case StateQueued:
-				j.skip = true
-				j.state = StateInterrupted
-				j.errMsg = "interrupted by server drain; resumes on restart"
-				delete(s.byHash, j.hash)
-				if s.opts.StateDir != "" {
-					m := manifest{ID: j.id, Hash: j.hash, Spec: j.spec,
-						Step: j.step, Checkpoint: j.resumeFrom}
-					if err := s.writeManifest(m); err != nil && firstErr == nil {
-						firstErr = err
-					}
-				}
-			case StateRunning:
-				if j.cancel != nil {
-					j.cancel(errDrain)
+			if j.state == StateQueued {
+				queued = append(queued, j)
+			}
+		}
+		sort.Slice(queued, func(i, k int) bool { return queued[i].id < queued[k].id })
+		for _, j := range queued {
+			j.skip = true
+			j.state = StateInterrupted
+			j.errMsg = "interrupted by server drain; resumes on restart"
+			delete(s.byHash, j.hash)
+			// Terminal event first, manifest second: a stream that saw
+			// the event can rely on the resume record existing once the
+			// drain completes.
+			j.publishStatusLocked()
+			if s.opts.StateDir != "" {
+				m := manifest{ID: j.id, Hash: j.hash, Spec: j.spec, Tenant: j.tenant,
+					Step: j.step, Checkpoint: j.resumeFrom}
+				if err := s.writeManifest(m); err != nil && firstErr == nil {
+					firstErr = err
 				}
 			}
 		}
-		// Submit sends while holding the mutex and refuses once
-		// draining is set, so closing here cannot race a send.
-		close(s.queue)
+		s.pending = make(map[string][]*Job)
+		s.queued = 0
+		for _, ts := range s.tstates {
+			ts.counters.Queued = 0
+		}
+		for _, j := range s.jobs {
+			if j.state == StateRunning && j.cancel != nil {
+				j.cancel(errDrain)
+			}
+		}
+		s.cond.Broadcast()
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
@@ -655,6 +969,12 @@ func (s *Scheduler) Store() *store.Store {
 	return s.opts.Store
 }
 
+// Tenants returns the configured tenant registry (nil when tenancy is
+// off).
+func (s *Scheduler) Tenants() *TenantSet {
+	return s.opts.Tenants
+}
+
 // Counters returns the lifetime totals.
 func (s *Scheduler) Counters() Counters {
 	s.mu.Lock()
@@ -662,11 +982,59 @@ func (s *Scheduler) Counters() Counters {
 	return s.counters
 }
 
+// TenantCounters snapshots every tenant's totals, keyed by name.
+func (s *Scheduler) TenantCounters() map[string]TenantCounters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]TenantCounters, len(s.tstates))
+	for name, ts := range s.tstates {
+		out[name] = ts.counters
+	}
+	return out
+}
+
+// noteStream tracks SSE stream lifecycle for /metrics.
+func (s *Scheduler) noteStreamStart() {
+	s.mu.Lock()
+	s.counters.StreamsOpened++
+	s.streamsActive++
+	s.mu.Unlock()
+}
+
+func (s *Scheduler) noteStreamEnd() {
+	s.mu.Lock()
+	s.streamsActive--
+	s.mu.Unlock()
+}
+
+// StreamsActive returns the number of currently attached SSE clients.
+func (s *Scheduler) StreamsActive() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.streamsActive
+}
+
+// noteClientAbort records an HTTP write that failed because the peer
+// went away; noteServerError records a response the server could not
+// produce. Split on purpose: aborts are traffic weather, server errors
+// are bugs.
+func (s *Scheduler) noteClientAbort() {
+	s.mu.Lock()
+	s.counters.ClientAborts++
+	s.mu.Unlock()
+}
+
+func (s *Scheduler) noteServerError() {
+	s.mu.Lock()
+	s.counters.ServerErrors++
+	s.mu.Unlock()
+}
+
 // QueueDepth returns how many admitted jobs are waiting for a shard.
 func (s *Scheduler) QueueDepth() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.queue)
+	return s.queued
 }
 
 // durWindow is how many recent job durations feed the Retry-After
@@ -699,24 +1067,31 @@ func retryAfterHint(depth int, meanSeconds float64, maxJobs int) int {
 	return hint
 }
 
-// RetryAfterSeconds is the backpressure hint for 429 responses, from
-// the current queue depth and the mean of the recent job durations.
-func (s *Scheduler) RetryAfterSeconds() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+// meanDurLocked is the mean of the recent executed-job durations (0
+// with no history); the mutex must be held.
+func (s *Scheduler) meanDurLocked() float64 {
 	n := s.durCount
 	if n > durWindow {
 		n = durWindow
 	}
-	var mean float64
-	if n > 0 {
-		sum := 0.0
-		for i := 0; i < n; i++ {
-			sum += s.recentDurs[i]
-		}
-		mean = sum / float64(n)
+	if n == 0 {
+		return 0
 	}
-	return retryAfterHint(len(s.queue), mean, s.opts.MaxJobs)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s.recentDurs[i]
+	}
+	return sum / float64(n)
+}
+
+// RetryAfterSeconds is the backpressure hint for global queue-full 429
+// responses, from the current queue depth and the mean of the recent
+// executed-job durations. Tenant-quota 429s do NOT use this: their
+// hints are quota-scoped (see QuotaError).
+func (s *Scheduler) RetryAfterSeconds() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return retryAfterHint(s.queued, s.meanDurLocked(), s.opts.MaxJobs)
 }
 
 // Running returns how many jobs are currently executing.

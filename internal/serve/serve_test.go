@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -563,6 +564,7 @@ func TestMergeMetrics(t *testing.T) {
 // guard resume path.
 func TestDrainCheckpointRestartBitForBit(t *testing.T) {
 	dir := t.TempDir()
+	goroutinesBefore := runtime.NumGoroutine()
 	const checkEvery = 10
 	opts := Options{MaxJobs: 1, Queue: 4, CPU: 2, StateDir: dir, CheckEvery: checkEvery}
 	sched, err := NewScheduler(opts)
@@ -593,6 +595,10 @@ func TestDrainCheckpointRestartBitForBit(t *testing.T) {
 	if err := sched.Drain(); err != nil {
 		t.Fatalf("drain: %v", err)
 	}
+	// Drain must join every runner goroutine before a restart takes
+	// over the state directory — leaked workers from the first
+	// incarnation would race the second over the same files.
+	settleToGoroutineCount(t, goroutinesBefore)
 	cur, _ := sched.Get(st.ID)
 	if cur.State != StateInterrupted {
 		t.Fatalf("post-drain state %q, want interrupted", cur.State)
@@ -630,6 +636,7 @@ func TestDrainCheckpointRestartBitForBit(t *testing.T) {
 		if err := sched2.Drain(); err != nil {
 			t.Errorf("drain restarted scheduler: %v", err)
 		}
+		settleToGoroutineCount(t, goroutinesBefore)
 	}()
 	if c := sched2.Counters(); c.Resumed != 1 {
 		t.Fatalf("restarted scheduler resumed %d jobs, want 1", c.Resumed)

@@ -1,0 +1,340 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// sseEvent is one parsed frame from a test stream read.
+type sseEvent struct {
+	ID   int64
+	Type string
+	Data string
+}
+
+// openStream attaches to a job's SSE feed, optionally resuming after
+// lastID (0 = from the beginning), and returns the live response.
+func openStream(t *testing.T, base, id string, lastID int64) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, base+"/jobs/"+id+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastID > 0 {
+		req.Header.Set("Last-Event-ID", strconv.FormatInt(lastID, 10))
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		_ = resp.Body.Close()
+		t.Fatalf("GET /jobs/%s/events: status %d", id, resp.StatusCode)
+	}
+	return resp
+}
+
+// readStream parses SSE frames until the body ends (the server closes
+// terminal feeds) or until stop returns true. Heartbeat comment lines
+// are counted, not returned.
+func readStream(t *testing.T, resp *http.Response, stop func(sseEvent) bool) (events []sseEvent, heartbeats int) {
+	t.Helper()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var cur sseEvent
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, ": "):
+			heartbeats++
+		case strings.HasPrefix(line, "id: "):
+			n, err := strconv.ParseInt(strings.TrimPrefix(line, "id: "), 10, 64)
+			if err != nil {
+				t.Fatalf("bad SSE id line %q: %v", line, err)
+			}
+			cur.ID = n
+		case strings.HasPrefix(line, "event: "):
+			cur.Type = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.Data = strings.TrimPrefix(line, "data: ")
+		case line == "":
+			if cur.Type != "" || cur.ID != 0 {
+				events = append(events, cur)
+				if stop != nil && stop(cur) {
+					return events, heartbeats
+				}
+				cur = sseEvent{}
+			}
+		}
+	}
+	return events, heartbeats
+}
+
+func statusFromEvent(t *testing.T, e sseEvent) Status {
+	t.Helper()
+	var st Status
+	if err := json.Unmarshal([]byte(e.Data), &st); err != nil {
+		t.Fatalf("bad status event data %q: %v", e.Data, err)
+	}
+	return st
+}
+
+// TestStreamDeliversLifecycleAndEndsOnCompletion: a full job lifecycle
+// arrives on the stream in order — queued, running, progress, done —
+// with contiguous ascending IDs, and the feed closes by itself after
+// the terminal event (the handler returns; no client action needed).
+func TestStreamDeliversLifecycleAndEndsOnCompletion(t *testing.T) {
+	base, _ := startTestServer(t, Options{MaxJobs: 1, Queue: 4, CPU: 1, CheckEvery: 10,
+		StreamEvery: 10 * time.Millisecond})
+	st, resp := postJob(t, base, JobSpec{Cells: 3, Steps: 200, Seed: 1})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	stream := openStream(t, base, st.ID, 0)
+	defer func() { _ = stream.Body.Close() }()
+	// Read to EOF: the server must close the terminal feed on its own.
+	events, _ := readStream(t, stream, nil)
+	if len(events) < 3 {
+		t.Fatalf("got %d events, want >= 3 (queued, running, done)", len(events))
+	}
+	for i, e := range events {
+		if e.ID != int64(i+1) {
+			t.Fatalf("event %d has ID %d, want contiguous from 1", i, e.ID)
+		}
+	}
+	var states []string
+	sawProgress := false
+	for _, e := range events {
+		switch e.Type {
+		case EventStatus:
+			states = append(states, statusFromEvent(t, e).State)
+		case EventProgress:
+			sawProgress = true
+		}
+	}
+	if states[0] != StateQueued || states[len(states)-1] != StateDone {
+		t.Fatalf("status sequence %v, want queued ... done", states)
+	}
+	if !sawProgress {
+		t.Error("no progress events on a 200-step job with CheckEvery 10")
+	}
+}
+
+// TestStreamResumesFromLastEventID: a reconnect presenting the SSE
+// Last-Event-ID header replays exactly the events after it.
+func TestStreamResumesFromLastEventID(t *testing.T) {
+	base, _ := startTestServer(t, Options{MaxJobs: 1, Queue: 4, CPU: 1, CheckEvery: 10,
+		StreamEvery: 10 * time.Millisecond})
+	st, _ := postJob(t, base, JobSpec{Cells: 3, Steps: 100, Seed: 2})
+	waitState(t, base, st.ID, StateDone)
+
+	full := openStream(t, base, st.ID, 0)
+	all, _ := readStream(t, full, nil)
+	_ = full.Body.Close()
+	if len(all) < 3 {
+		t.Fatalf("full replay has %d events, want >= 3", len(all))
+	}
+	cut := all[len(all)/2].ID
+
+	resumed := openStream(t, base, st.ID, cut)
+	rest, _ := readStream(t, resumed, nil)
+	_ = resumed.Body.Close()
+	if want := len(all) - int(cut); len(rest) != want {
+		t.Fatalf("resume after %d replayed %d events, want %d", cut, len(rest), want)
+	}
+	for i, e := range rest {
+		if e.ID != cut+int64(i+1) {
+			t.Fatalf("resumed event %d has ID %d, want %d", i, e.ID, cut+int64(i+1))
+		}
+	}
+	// The terminal event must still close the resumed feed.
+	if last := statusFromEvent(t, rest[len(rest)-1]); last.State != StateDone {
+		t.Fatalf("resumed feed ended on %q, want done", last.State)
+	}
+}
+
+// TestStreamHeartbeats: an idle stream (job held in queue behind a
+// long one) receives comment heartbeats that keep the connection warm
+// without consuming event IDs.
+func TestStreamHeartbeats(t *testing.T) {
+	base, _ := startTestServer(t, Options{MaxJobs: 1, Queue: 4, CPU: 1, CheckEvery: 25,
+		Heartbeat: 20 * time.Millisecond, StreamEvery: time.Hour})
+	long, _ := postJob(t, base, JobSpec{Cells: 3, Steps: 500_000, Seed: 3})
+	held, _ := postJob(t, base, JobSpec{Cells: 3, Steps: 10, Seed: 4})
+
+	stream := openStream(t, base, held.ID, 0)
+	done := make(chan struct{})
+	var hbs int
+	var ids []int64
+	go func() {
+		defer close(done)
+		events, hb := readStream(t, stream, nil)
+		hbs = hb
+		for _, e := range events {
+			ids = append(ids, e.ID)
+		}
+	}()
+	// Let heartbeats accumulate while the held job sits queued, then
+	// unblock it by canceling the long one.
+	time.Sleep(150 * time.Millisecond)
+	req, _ := http.NewRequest(http.MethodDelete, base+"/jobs/"+long.ID, nil)
+	if resp, err := http.DefaultClient.Do(req); err == nil {
+		_ = resp.Body.Close()
+	}
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("stream never ended after unblocking the held job")
+	}
+	_ = stream.Body.Close()
+	if hbs < 3 {
+		t.Errorf("saw %d heartbeats over 150ms at 20ms cadence, want >= 3", hbs)
+	}
+	for i, id := range ids {
+		if id != int64(i+1) {
+			t.Fatalf("event IDs %v not contiguous — heartbeats must not consume IDs", ids)
+		}
+	}
+}
+
+// TestStreamClientDisconnectReleasesHandler: dropping the client side
+// of a live stream must release the handler goroutine (dynamic count),
+// while the job itself keeps running.
+func TestStreamClientDisconnectReleasesHandler(t *testing.T) {
+	before := runtime.NumGoroutine()
+	sched, err := NewScheduler(Options{MaxJobs: 1, Queue: 4, CPU: 1, CheckEvery: 25,
+		StreamEvery: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := Start("127.0.0.1:0", sched)
+	if err != nil {
+		_ = sched.Drain()
+		t.Fatal(err)
+	}
+	base := "http://" + srv.Addr()
+
+	st, code, err := sched.Submit(JobSpec{Cells: 3, Steps: 500_000, Seed: 5})
+	if err != nil || code != SubmitCreated {
+		t.Fatalf("submit: code %v err %v", code, err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/jobs/"+st.ID+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read one frame so the stream is demonstrably live, then vanish.
+	buf := make([]byte, 1)
+	if _, err := resp.Body.Read(buf); err != nil {
+		t.Fatalf("stream read: %v", err)
+	}
+	cancel()
+	_ = resp.Body.Close()
+
+	if got, want := sched.Counters().StreamsOpened, 1; got != want {
+		t.Errorf("streams opened %d, want %d", got, want)
+	}
+	if _, ok := sched.Cancel(st.ID); !ok {
+		t.Fatal("cancel lookup failed")
+	}
+	if err := sched.Drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	settleToGoroutineCount(t, before)
+	if n := sched.StreamsActive(); n != 0 {
+		t.Errorf("streams active %d after disconnect, want 0", n)
+	}
+}
+
+// TestDrainFlushesTerminalEventToLiveStreams is the drain/streaming
+// contract: a SIGTERM-style drain with SSE clients attached must push
+// a terminal status event down every stream — the running job's
+// "interrupted" — and end the feeds cleanly, with the resume manifest
+// on disk by the time Drain returns and no goroutines left behind.
+func TestDrainFlushesTerminalEventToLiveStreams(t *testing.T) {
+	before := runtime.NumGoroutine()
+	dir := t.TempDir()
+	sched, err := NewScheduler(Options{MaxJobs: 1, Queue: 4, CPU: 1, CheckEvery: 25,
+		StateDir: dir, StreamEvery: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := Start("127.0.0.1:0", sched)
+	if err != nil {
+		_ = sched.Drain()
+		t.Fatal(err)
+	}
+	base := "http://" + srv.Addr()
+
+	// One running job and one held in queue — both get streams, both
+	// must see a terminal "interrupted" event.
+	running, _ := postJob(t, base, JobSpec{Cells: 3, Steps: 500_000, Seed: 6})
+	queued, _ := postJob(t, base, JobSpec{Cells: 3, Steps: 500_000, Seed: 7})
+	deadline := time.Now().Add(10 * time.Second)
+	for getStatus(t, base, running.ID).State != StateRunning {
+		if time.Now().After(deadline) {
+			t.Fatal("first job never started")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	type streamResult struct {
+		id    string
+		final string
+	}
+	results := make(chan streamResult, 2)
+	for _, id := range []string{running.ID, queued.ID} {
+		stream := openStream(t, base, id, 0)
+		go func(id string, resp *http.Response) {
+			defer func() { _ = resp.Body.Close() }()
+			events, _ := readStream(t, resp, nil)
+			final := ""
+			for _, e := range events {
+				if e.Type == EventStatus {
+					final = statusFromEvent(t, e).State
+				}
+			}
+			results <- streamResult{id: id, final: final}
+		}(id, stream)
+	}
+	time.Sleep(30 * time.Millisecond) // both streams attached and reading
+
+	// sdcserve shutdown order: drain first, then close HTTP.
+	if err := sched.Drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case r := <-results:
+			if r.final != StateInterrupted {
+				t.Errorf("stream %s ended on %q, want interrupted", r.id, r.final)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("stream did not receive its terminal event after drain")
+		}
+	}
+	for _, id := range []string{running.ID, queued.ID} {
+		if _, err := os.Stat(sched.manifestPath(id)); err != nil {
+			t.Errorf("manifest for %s missing after drain: %v", id, err)
+		}
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	settleToGoroutineCount(t, before)
+}

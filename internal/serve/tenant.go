@@ -1,0 +1,261 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"time"
+)
+
+// Tenant is one API principal: an opaque key, a display name, a
+// fair-share weight and admission quotas. The zero quota values mean
+// "unlimited" so a tenants file only states what it wants to bound.
+type Tenant struct {
+	// Name identifies the tenant in statuses, metrics labels and logs.
+	Name string `json:"name"`
+	// Key is the API credential presented as `Authorization: Bearer
+	// <key>` or `X-API-Key: <key>`. Empty only for the built-in
+	// anonymous tenant used when tenancy is not configured.
+	Key string `json:"key"`
+	// Weight is the fair-share dispatch weight (default 1): with the
+	// queue saturated, a weight-3 tenant gets 3 dispatches for every 1
+	// a weight-1 tenant gets.
+	Weight int `json:"weight,omitempty"`
+	// MaxQueued bounds this tenant's jobs waiting for a shard
+	// (0 = unlimited).
+	MaxQueued int `json:"max_queued,omitempty"`
+	// MaxRunning bounds this tenant's concurrently executing jobs
+	// (0 = unlimited). Enforced at dispatch: excess jobs wait in the
+	// tenant's queue without blocking other tenants.
+	MaxRunning int `json:"max_running,omitempty"`
+	// MaxStepsPerSec rate-limits admission by simulation work: a token
+	// bucket refills at this many MD steps per second and each admitted
+	// job debits its step count (0 = unlimited). Cache and store hits
+	// cost nothing — no simulation runs.
+	MaxStepsPerSec float64 `json:"max_steps_per_sec,omitempty"`
+}
+
+// anonymousTenant is the implicit principal when no tenants file is
+// loaded: unlimited quotas, weight 1, no key required.
+const anonymousTenant = "anonymous"
+
+func anonymous() *Tenant { return &Tenant{Name: anonymousTenant, Weight: 1} }
+
+// TenantSet is the loaded tenant registry, keyed both ways.
+type TenantSet struct {
+	byKey  map[string]*Tenant
+	byName map[string]*Tenant
+	names  []string // sorted, for deterministic iteration
+}
+
+// NewTenantSet validates and indexes a tenant list. Names and keys
+// must be unique and non-empty; weights default to 1.
+func NewTenantSet(tenants []Tenant) (*TenantSet, error) {
+	ts := &TenantSet{byKey: map[string]*Tenant{}, byName: map[string]*Tenant{}}
+	for i := range tenants {
+		t := tenants[i]
+		if t.Name == "" {
+			return nil, fmt.Errorf("serve: tenant %d has no name", i)
+		}
+		if t.Key == "" {
+			return nil, fmt.Errorf("serve: tenant %q has no key", t.Name)
+		}
+		if t.Weight <= 0 {
+			t.Weight = 1
+		}
+		if t.MaxQueued < 0 || t.MaxRunning < 0 || t.MaxStepsPerSec < 0 {
+			return nil, fmt.Errorf("serve: tenant %q has a negative quota", t.Name)
+		}
+		if _, dup := ts.byName[t.Name]; dup {
+			return nil, fmt.Errorf("serve: duplicate tenant name %q", t.Name)
+		}
+		if _, dup := ts.byKey[t.Key]; dup {
+			return nil, fmt.Errorf("serve: duplicate tenant key (tenant %q)", t.Name)
+		}
+		ts.byName[t.Name] = &t
+		ts.byKey[t.Key] = &t
+		ts.names = append(ts.names, t.Name)
+	}
+	sort.Strings(ts.names)
+	return ts, nil
+}
+
+// LoadTenants reads a tenants file: a JSON document
+// {"tenants":[{"name":...,"key":...,"weight":...,...}]}.
+func LoadTenants(path string) (*TenantSet, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("serve: tenants file: %w", err)
+	}
+	var doc struct {
+		Tenants []Tenant `json:"tenants"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return nil, fmt.Errorf("serve: tenants file %s: %w", path, err)
+	}
+	if len(doc.Tenants) == 0 {
+		return nil, fmt.Errorf("serve: tenants file %s declares no tenants", path)
+	}
+	return NewTenantSet(doc.Tenants)
+}
+
+// Lookup resolves an API key; nil when unknown.
+func (ts *TenantSet) Lookup(key string) *Tenant {
+	if ts == nil {
+		return nil
+	}
+	return ts.byKey[key]
+}
+
+// ByName resolves a tenant name; nil when unknown.
+func (ts *TenantSet) ByName(name string) *Tenant {
+	if ts == nil {
+		return nil
+	}
+	return ts.byName[name]
+}
+
+// Names returns the tenant names in sorted order.
+func (ts *TenantSet) Names() []string {
+	if ts == nil {
+		return nil
+	}
+	return ts.names
+}
+
+// TenantCounters are one tenant's lifetime admission/dispatch totals,
+// exposed as sdcserve_tenant_* metrics rows. Guarded by the scheduler
+// mutex like the global Counters.
+type TenantCounters struct {
+	Submitted     int `json:"submitted"`
+	Completed     int `json:"completed"`
+	Failed        int `json:"failed"`
+	Canceled      int `json:"canceled"`
+	CacheHits     int `json:"cache_hits"`
+	QuotaRejected int `json:"quota_rejected"`
+	// Queued and Running are current gauges, not lifetime totals.
+	Queued  int `json:"queued"`
+	Running int `json:"running"`
+}
+
+// tenantState is the scheduler's per-tenant runtime bookkeeping:
+// fair-share pass value, quota gauges, rate bucket and counters. All
+// fields are guarded by the scheduler mutex.
+type tenantState struct {
+	tenant *Tenant
+	// pass is the stride-scheduling virtual time: each dispatch adds
+	// strideUnit/weight, and the ready tenant with the lowest pass is
+	// served next — over a saturated queue that yields dispatch counts
+	// proportional to the weights.
+	pass float64
+	// tokens/lastRefill implement the MaxStepsPerSec bucket. The
+	// balance may go negative when a large job is admitted on a
+	// positive balance; admission then stalls until it refills past
+	// zero, which keeps the long-run rate at the configured limit.
+	tokens     float64
+	lastRefill time.Time
+	counters   TenantCounters
+}
+
+// strideUnit is the stride numerator: pass += strideUnit/weight per
+// dispatch. Any positive constant works; this one keeps passes readable
+// in debugger sessions.
+const strideUnit = 840 // divisible by 1..8, so common weights stride evenly
+
+// rateBurstSeconds sizes the steps/sec bucket: a tenant can burst this
+// many seconds of its steady-state step budget before throttling.
+const rateBurstSeconds = 2.0
+
+func newTenantState(t *Tenant, now time.Time) *tenantState {
+	ts := &tenantState{tenant: t, lastRefill: now}
+	if t.MaxStepsPerSec > 0 {
+		ts.tokens = t.MaxStepsPerSec * rateBurstSeconds
+	}
+	return ts
+}
+
+// refillLocked advances the token bucket to now.
+func (ts *tenantState) refillLocked(now time.Time) {
+	rate := ts.tenant.MaxStepsPerSec
+	if rate <= 0 {
+		return
+	}
+	dt := now.Sub(ts.lastRefill).Seconds()
+	if dt <= 0 {
+		return
+	}
+	ts.lastRefill = now
+	ts.tokens += rate * dt
+	if burst := rate * rateBurstSeconds; ts.tokens > burst {
+		ts.tokens = burst
+	}
+}
+
+// QuotaError reports a per-tenant admission rejection with a
+// quota-scoped Retry-After hint. It deliberately does NOT use the
+// queue-depth backpressure formula: a tenant at quota with an empty
+// global queue is waiting on its own budget, not on the shared queue.
+type QuotaError struct {
+	Tenant string
+	Reason string
+	// RetryAfterSeconds is when the tenant's own budget plausibly frees
+	// up: the bucket-refill time for rate limits, one mean job duration
+	// for slot limits. Always >= 1.
+	RetryAfterSeconds int
+}
+
+func (e *QuotaError) Error() string {
+	return fmt.Sprintf("serve: tenant %q over quota: %s", e.Tenant, e.Reason)
+}
+
+// admitLocked applies the tenant's quotas to one job admission,
+// debiting the rate bucket on success. meanDur is the scheduler's mean
+// recent executed-job duration, used to scope slot-limit hints.
+func (ts *tenantState) admitLocked(steps int, now time.Time, meanDur float64) error {
+	t := ts.tenant
+	if t.MaxQueued > 0 && ts.counters.Queued >= t.MaxQueued {
+		return &QuotaError{
+			Tenant:            t.Name,
+			Reason:            fmt.Sprintf("max_queued %d reached", t.MaxQueued),
+			RetryAfterSeconds: slotRetryHint(meanDur),
+		}
+	}
+	if t.MaxStepsPerSec > 0 {
+		ts.refillLocked(now)
+		if ts.tokens < 0 {
+			wait := int(math.Ceil(-ts.tokens / t.MaxStepsPerSec))
+			if wait < 1 {
+				wait = 1
+			}
+			if wait > maxRetryAfter {
+				wait = maxRetryAfter
+			}
+			return &QuotaError{
+				Tenant:            t.Name,
+				Reason:            fmt.Sprintf("max_steps_per_sec %g exceeded", t.MaxStepsPerSec),
+				RetryAfterSeconds: wait,
+			}
+		}
+		ts.tokens -= float64(steps)
+	}
+	return nil
+}
+
+// slotRetryHint scopes a slot-quota rejection to the tenant's own
+// pipeline: one mean executed-job duration is when a slot plausibly
+// frees, clamped like the queue hint. With no history, 1 second.
+func slotRetryHint(meanDur float64) int {
+	if meanDur <= 0 {
+		return 1
+	}
+	hint := int(math.Ceil(meanDur))
+	if hint < 1 {
+		hint = 1
+	}
+	if hint > maxRetryAfter {
+		hint = maxRetryAfter
+	}
+	return hint
+}

@@ -206,6 +206,7 @@ func (s *Store) retry(op func() error) error {
 		}
 		if attempt < s.opts.Retries-1 {
 			s.counters.Retries++
+			//lint:ignore ctx-propagation durability over promptness: the bounded backoff (Retries × MaxBackoff) finishes the write even if the job's context was canceled mid-persist
 			time.Sleep(backoff)
 			backoff *= 4
 			if backoff > s.opts.MaxBackoff {
